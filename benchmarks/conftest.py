@@ -1,0 +1,42 @@
+"""Shared machinery for the figure/table regeneration benchmarks.
+
+Every paper artifact (Figures 8-13, Tables 1-3) has one benchmark that runs
+the corresponding experiment grid once (``benchmark.pedantic`` with a single
+round -- the grid itself is the measurement), prints the same rows/series
+the paper reports, and asserts the qualitative shape.
+
+Workloads replay the paper's second-scale runs at a small time scale
+(see ``BenchConfig``); absolute numbers are therefore not comparable to the
+paper, shapes and ratios are (DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import get_experiment
+
+
+@pytest.fixture
+def run_experiment(benchmark, capsys):
+    """Run one experiment grid under pytest-benchmark and print its report."""
+
+    def runner(experiment_id: str, mutate=None):
+        experiment = get_experiment(experiment_id)
+        if mutate is not None:
+            mutate(experiment)
+        holder = {}
+
+        def once():
+            report, grids = experiment.run_and_report()
+            holder["report"] = report
+            holder["grids"] = grids
+            return grids
+
+        benchmark.pedantic(once, rounds=1, iterations=1)
+        with capsys.disabled():
+            print()
+            print(holder["report"])
+        return holder["grids"]
+
+    return runner

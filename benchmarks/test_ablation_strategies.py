@@ -1,0 +1,53 @@
+"""Ablation: auto-scaling strategy choice (Section 3.2.2 / future work).
+
+Compares the paper's naive queue-delta strategy against the EWMA rate
+strategy on the same workload.  The paper observes the naive strategy's
+"inertia ... can result in mismatches between actual needs and active
+process count" and defers refinement to future work -- this ablation is
+that experiment.
+"""
+
+import pytest
+
+from repro.autoscale.strategies import QueueSizeStrategy, RateStrategy
+from repro.bench.harness import BenchConfig, run_cell
+from repro.platforms.profiles import SERVER
+from repro.workflows.astro.workflow import build_internal_extinction_workflow
+
+
+def _factory():
+    return build_internal_extinction_workflow(scale=2)
+
+
+CONFIG = BenchConfig(time_scale=0.01)
+
+
+@pytest.mark.parametrize(
+    "label,strategy_factory",
+    [
+        ("queue-delta (paper)", lambda: QueueSizeStrategy()),
+        ("queue-delta min_queue=2", lambda: QueueSizeStrategy(min_queue=2)),
+        ("rate-EWMA alpha=0.3", lambda: RateStrategy(alpha=0.3)),
+    ],
+)
+def test_strategy_ablation(benchmark, capsys, label, strategy_factory):
+    def once():
+        return run_cell(
+            _factory,
+            "dyn_auto_multi",
+            12,
+            SERVER,
+            CONFIG,
+            strategy=strategy_factory(),
+        )
+
+    result = benchmark.pedantic(once, rounds=1, iterations=1)
+    with capsys.disabled():
+        trace = result.trace
+        print(
+            f"\n[{label}] runtime={result.runtime:.3f}s "
+            f"process_time={result.process_time:.3f}s "
+            f"iterations={len(trace)} active=[{trace.min_active()},{trace.max_active()}]"
+        )
+    assert result.total_outputs() == 200
+    assert result.trace is not None

@@ -1,0 +1,49 @@
+"""Ablation: termination strategy (Section 3.2.3).
+
+Compares the paper's retry + poison-pill protocol under different retry
+budgets and poll intervals, plus the unsafe plain-emptiness check, on the
+same dynamic workload.  Shows the trade-off the paper describes: fewer
+retries terminate faster but (in the unsafe variant) risk premature exits;
+the drained-proof default is safe at every setting.
+"""
+
+import pytest
+
+from repro.bench.harness import BenchConfig, run_cell
+from repro.mappings.termination import TerminationPolicy
+from repro.platforms.profiles import SERVER
+from repro.workflows.astro.workflow import build_internal_extinction_workflow
+
+
+def _factory():
+    return build_internal_extinction_workflow(scale=1)
+
+
+CONFIG = BenchConfig(time_scale=0.01)
+
+
+@pytest.mark.parametrize(
+    "label,policy",
+    [
+        ("retry=1 fast-poll", TerminationPolicy(poll_interval=0.005, empty_retries=1)),
+        ("retry=3 (paper-ish)", TerminationPolicy(poll_interval=0.02, empty_retries=3)),
+        ("retry=8 slow-poll", TerminationPolicy(poll_interval=0.05, empty_retries=8)),
+        (
+            "unsafe emptiness check",
+            TerminationPolicy(poll_interval=0.02, empty_retries=3, unsafe_empty_check=True),
+        ),
+    ],
+)
+def test_termination_ablation(benchmark, capsys, label, policy):
+    def once():
+        return run_cell(_factory, "dyn_multi", 8, SERVER, CONFIG, termination=policy)
+
+    result = benchmark.pedantic(once, rounds=1, iterations=1)
+    with capsys.disabled():
+        print(
+            f"\n[{label}] runtime={result.runtime:.3f}s "
+            f"empty_polls={result.counters.get('empty_polls', 0)} "
+            f"outputs={result.total_outputs()}"
+        )
+    if not policy.unsafe_empty_check:
+        assert result.total_outputs() == 100  # drained-proof: never loses work

@@ -1,0 +1,27 @@
+"""Figure 9: Internal Extinction of Galaxies on the cloud (8 cores).
+
+Same grid as Figure 8 on the 8-core platform.  Checks the paper's cloud
+observations: overall trends match the server, but with only 8 cores the
+gain from oversubscribed process counts (12, 15) flattens out.
+"""
+
+from repro.bench.reporting import autoscaling_saves_process_time
+
+
+def test_fig09(run_experiment):
+    grids = run_experiment("fig09")
+    standard = grids["1X standard"]
+
+    assert autoscaling_saves_process_time(standard, "dyn_auto_multi", "dyn_multi")
+
+    # Oversubscription: moving 10 -> 15 processes on 8 cores must NOT give
+    # anything close to the ideal 1.5x speedup; the curve flattens.
+    r10 = standard[("dyn_multi", 10)].runtime
+    r15 = standard[("dyn_multi", 15)].runtime
+    assert r15 > r10 * 0.75
+
+    # "overall performance on server is slightly better than cloud" cannot
+    # be asserted across separate benchmark sessions here, but within the
+    # cloud grid the slower cores must show on the heavy workload:
+    heavy = grids["1X heavy"]
+    assert heavy[("dyn_multi", 10)].runtime > standard[("dyn_multi", 10)].runtime

@@ -1,0 +1,38 @@
+"""Figure 11 (a/b/c): Seismic Cross-Correlation phase 1 on all platforms.
+
+The 9-PE, 50-station pipeline with heterogeneous stage costs.  Checks the
+patterns Section 5.3 reports: runtimes trend down / process times up with
+more processes, auto-scaling keeps its process-time advantage, and the
+static ``multi`` series only exists from its 12-process minimum.
+"""
+
+from repro.bench.reporting import (
+    autoscaling_saves_process_time,
+    process_time_increases_with_processes,
+)
+
+
+def test_fig11a_server(run_experiment):
+    grids = run_experiment("fig11a")
+    grid = grids["50 stations"]
+
+    # multi cannot run below 12 processes (9 PEs, static one-per-instance).
+    assert ("multi", 5) not in grid
+    assert ("multi", 12) in grid
+
+    assert process_time_increases_with_processes(grid, "dyn_multi")
+    assert autoscaling_saves_process_time(grid, "dyn_auto_multi", "dyn_multi")
+    assert autoscaling_saves_process_time(grid, "dyn_auto_redis", "dyn_redis")
+
+
+def test_fig11b_cloud(run_experiment):
+    grids = run_experiment("fig11b")
+    grid = grids["50 stations"]
+    assert autoscaling_saves_process_time(grid, "dyn_auto_multi", "dyn_multi")
+
+
+def test_fig11c_hpc(run_experiment):
+    grids = run_experiment("fig11c")
+    grid = grids["50 stations"]
+    assert all("redis" not in m for (m, _p) in grid)
+    assert autoscaling_saves_process_time(grid, "dyn_auto_multi", "dyn_multi")

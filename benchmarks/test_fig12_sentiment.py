@@ -1,0 +1,35 @@
+"""Figure 12 (a/b): Sentiment Analyses for News Articles, multi vs hybrid.
+
+The stateful showdown (Section 5.4): ``hybrid_redis`` (4 pinned
+``happyState`` instances, 2 ``top3Happiest`` instances, remaining workers
+dynamically sharing the stateless load) against the static ``multi``
+baseline.  Asserts:
+
+- hybrid runs from 8 processes while multi needs 14 (the paper's minima),
+- hybrid's runtime improves as processes grow (more stateless sharing),
+- hybrid beats multi on runtime at the shared process counts (the paper
+  reaches 0.32x at full scale; shape, not the absolute factor, is asserted).
+"""
+
+
+def _check(grid):
+    assert ("multi", 8) not in grid
+    assert ("hybrid_redis", 8) in grid
+
+    # hybrid exhibits speed-up as the number of processes increases
+    assert grid[("hybrid_redis", 16)].runtime < grid[("hybrid_redis", 8)].runtime
+
+    # hybrid_redis outperforms multi (mean over shared process counts)
+    ratios = [
+        grid[("hybrid_redis", p)].runtime / grid[("multi", p)].runtime
+        for p in (14, 16)
+    ]
+    assert sum(ratios) / len(ratios) < 1.0, ratios
+
+
+def test_fig12a_server(run_experiment):
+    _check(run_experiment("fig12a")["400 articles"])
+
+
+def test_fig12b_cloud(run_experiment):
+    _check(run_experiment("fig12b")["400 articles"])

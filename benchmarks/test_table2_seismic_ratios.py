@@ -1,0 +1,20 @@
+"""Table 2: runtime / process-time ratios for the seismic workflow.
+
+Section 5.3.1's finding: on this more complex workflow the optimal runtime
+ratios exceed 1 (the naive auto-scaler struggles to gauge demand for
+intricate workflows), but the process-time ratios stay consistently below
+1 -- "affirming the efficiency of auto-scaling even in complex scenarios".
+"""
+
+from repro.metrics.ratios import summarize_ratios
+
+
+def test_table2(run_experiment):
+    grids = run_experiment("table2")
+    grid = grids["50 stations"]
+
+    for auto, base in (("dyn_auto_multi", "dyn_multi"), ("dyn_auto_redis", "dyn_redis")):
+        summary = summarize_ratios(grid, auto, base)
+        pt_mean, _ = summary.process_time_mean_std
+        assert pt_mean < 1.0, (auto, pt_mean)
+        assert summary.by_process_time.process_time_ratio < 0.9, auto

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Auto-scaler internals: watch Algorithm 1 react to a bursty workload.
+
+Builds a two-stage workflow whose source emits work in bursts, runs it
+under ``dyn_auto_multi`` and ``dyn_auto_redis``, and prints both scaling
+traces side by side -- queue-size driven growth vs idle-time driven decay
+(the two strategies of Section 3.2.2, Figure 13).
+
+Run:  python examples/autoscaling_demo.py
+"""
+
+from repro import IterativePE, SERVER, WorkflowGraph, run
+from repro.metrics.tables import render_trace
+
+
+class BurstySource(IterativePE):
+    """Emits one item per drive; pauses between bursts (via io_wait)."""
+
+    def _process(self, data):
+        if data % 20 == 0 and data > 0:
+            self.io_wait(0.3)  # lull between bursts
+        return data
+
+
+class Work(IterativePE):
+    def _process(self, data):
+        self.compute(0.05)
+        return data
+
+
+def build():
+    graph = WorkflowGraph("bursty")
+    src = graph.add(BurstySource(name="source"))
+    work = graph.add(Work(name="work"))
+    graph.connect(src, "output", work, "input")
+    return graph
+
+
+def main() -> None:
+    for mapping in ("dyn_auto_multi", "dyn_auto_redis"):
+        result = run(
+            build(),
+            inputs=list(range(80)),
+            processes=12,
+            mapping=mapping,
+            platform=SERVER,
+            time_scale=0.02,
+        )
+        trace = result.trace
+        print(
+            f"\n=== {mapping}: runtime {result.runtime:.2f}s, "
+            f"process time {result.process_time:.2f}s, "
+            f"{len(trace)} scaler iterations, "
+            f"active range [{trace.min_active()}, {trace.max_active()}] ==="
+        )
+        print(render_trace(f"{mapping} ({trace.metric_name})", trace, max_points=14))
+
+
+if __name__ == "__main__":
+    main()

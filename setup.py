@@ -1,0 +1,6 @@
+"""Legacy shim so `pip install -e .` works on offline machines without
+the `wheel` package; all metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,102 @@
+"""repro: a reproduction of "Optimization towards Efficiency and Stateful of
+dispel4py" (WORKS/SC 2023, arXiv:2309.00595).
+
+A stream-based scientific workflow engine in the style of dispel4py, with:
+
+- static (``multi``) and dynamic (``dyn_multi``) parallel mappings,
+- Redis-backed dynamic mappings (``dyn_redis``) built on an in-process
+  Redis Stream substrate (:mod:`repro.redisim`),
+- the paper's auto-scaling optimization (``dyn_auto_multi`` /
+  ``dyn_auto_redis``, Algorithm 1),
+- the stateful-aware hybrid mapping (``hybrid_redis``),
+- the three evaluation workflows (:mod:`repro.workflows`) and a benchmark
+  harness regenerating every figure and table (:mod:`repro.bench`).
+
+Quickstart::
+
+    from repro import WorkflowGraph, IterativePE, run
+
+    class Double(IterativePE):
+        def _process(self, data):
+            return 2 * data
+
+    graph = WorkflowGraph("demo")
+    double = graph.add(Double(name="double"))
+    result = run(graph, inputs=[1, 2, 3], mapping="simple")
+    print(result.output("double"))  # [2, 4, 6]
+"""
+
+from typing import Any
+
+from repro.core import (
+    AllToOne,
+    ConsumerPE,
+    FunctionPE,
+    GenericPE,
+    GroupBy,
+    Grouping,
+    IterativePE,
+    OneToAll,
+    ProducerPE,
+    Shuffle,
+    WorkflowGraph,
+)
+from repro.mappings import TerminationPolicy, get_mapping, mapping_names
+from repro.metrics import RunResult
+from repro.platforms import CLOUD, HPC, LAPTOP, SERVER, PlatformProfile, get_platform
+
+__version__ = "1.0.0"
+
+
+def run(
+    graph: WorkflowGraph,
+    inputs: Any = None,
+    processes: int = 1,
+    mapping: str = "simple",
+    platform: PlatformProfile = LAPTOP,
+    time_scale: float = 1.0,
+    seed: int = 0,
+    **options: Any,
+) -> RunResult:
+    """Enact ``graph`` with the named mapping and return the run result.
+
+    This is the primary entry point of the library; see
+    :meth:`repro.mappings.base.Mapping.execute` for parameter semantics.
+    """
+    engine = get_mapping(mapping)
+    return engine.execute(
+        graph,
+        inputs=inputs,
+        processes=processes,
+        platform=platform,
+        time_scale=time_scale,
+        seed=seed,
+        **options,
+    )
+
+
+__all__ = [
+    "AllToOne",
+    "CLOUD",
+    "ConsumerPE",
+    "FunctionPE",
+    "GenericPE",
+    "GroupBy",
+    "Grouping",
+    "HPC",
+    "IterativePE",
+    "LAPTOP",
+    "OneToAll",
+    "PlatformProfile",
+    "ProducerPE",
+    "RunResult",
+    "SERVER",
+    "Shuffle",
+    "TerminationPolicy",
+    "WorkflowGraph",
+    "__version__",
+    "get_mapping",
+    "get_platform",
+    "mapping_names",
+    "run",
+]

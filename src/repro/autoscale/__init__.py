@@ -1,0 +1,39 @@
+"""Auto-scaling optimization (Section 3.2 of the paper).
+
+The auto-scaler extends dynamic scheduling with two process states --
+*active* and *idle* -- and adjusts the number of active processes in
+response to a monitored load metric.  Active processes fetch tasks from the
+global queue exactly as in plain dynamic scheduling; idle processes sit in
+a low-energy standby state and accumulate no process time, which is where
+the efficiency gains of Tables 1 and 2 come from.
+
+- :class:`~repro.autoscale.autoscaler.Autoscaler` implements the paper's
+  Algorithm 1 verbatim (``max_pool_size``, ``active_size`` defaulting to
+  half the pool, ±1 grow/shrink, ``start``/``done`` active-count guard,
+  and the central ``process`` loop).
+- :mod:`~repro.autoscale.strategies` implements the two monitoring
+  strategies of Section 3.2.2 (queue size for Multiprocessing, consumer
+  group average idle time for Redis) plus an EWMA rate strategy as the
+  "future work" ablation.
+- :class:`~repro.autoscale.trace.ScalingTrace` records the
+  (iteration, active size, metric) series plotted in Figure 13.
+"""
+
+from repro.autoscale.autoscaler import Autoscaler
+from repro.autoscale.strategies import (
+    IdleTimeStrategy,
+    QueueSizeStrategy,
+    RateStrategy,
+    ScalingStrategy,
+)
+from repro.autoscale.trace import ScalingTrace, TracePoint
+
+__all__ = [
+    "Autoscaler",
+    "IdleTimeStrategy",
+    "QueueSizeStrategy",
+    "RateStrategy",
+    "ScalingStrategy",
+    "ScalingTrace",
+    "TracePoint",
+]

@@ -1,0 +1,93 @@
+"""Scaling traces: the data behind Figure 13.
+
+Each auto-scaler iteration is recorded as a :class:`TracePoint`.  The
+paper's Figure 13 plots active process count (left axis) against the
+monitored metric (right axis: queue size for ``dyn_auto_multi``, average
+idle time in ms for ``dyn_auto_redis``) over iterations, where iterations
+are "recorded when monitored metrics change" -- :meth:`ScalingTrace.changes`
+applies that filter.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class TracePoint:
+    """One auto-scaler iteration."""
+
+    iteration: int
+    timestamp: float
+    active_size: int
+    metric: float
+    decision: int  # +1 grew, -1 shrank, 0 held
+
+
+class ScalingTrace:
+    """Thread-safe record of auto-scaler decisions.
+
+    Parameters
+    ----------
+    metric_name:
+        Label of the monitored metric ("queue size" / "avg idle time (ms)").
+    """
+
+    def __init__(self, metric_name: str = "metric") -> None:
+        self.metric_name = metric_name
+        self._points: List[TracePoint] = []
+        self._lock = threading.Lock()
+
+    def record(
+        self, timestamp: float, active_size: int, metric: float, decision: int
+    ) -> None:
+        with self._lock:
+            self._points.append(
+                TracePoint(
+                    iteration=len(self._points),
+                    timestamp=timestamp,
+                    active_size=active_size,
+                    metric=metric,
+                    decision=decision,
+                )
+            )
+
+    @property
+    def points(self) -> List[TracePoint]:
+        with self._lock:
+            return list(self._points)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._points)
+
+    def changes(self) -> List[TracePoint]:
+        """Points where the monitored metric changed (Figure 13's x-axis)."""
+        filtered: List[TracePoint] = []
+        last_metric: float | None = None
+        for point in self.points:
+            if last_metric is None or point.metric != last_metric:
+                filtered.append(point)
+                last_metric = point.metric
+        return filtered
+
+    def series(
+        self, changes_only: bool = True
+    ) -> Tuple[List[int], List[int], List[float]]:
+        """(iterations, active_sizes, metrics) ready for plotting/printing."""
+        points = self.changes() if changes_only else self.points
+        return (
+            [p.iteration for p in points],
+            [p.active_size for p in points],
+            [p.metric for p in points],
+        )
+
+    def max_active(self) -> int:
+        points = self.points
+        return max((p.active_size for p in points), default=0)
+
+    def min_active(self) -> int:
+        points = self.points
+        return min((p.active_size for p in points), default=0)

@@ -1,0 +1,33 @@
+"""Benchmark harness: regenerate every figure and table of the paper.
+
+- :mod:`repro.bench.harness` -- grid runner: enact (workflow x mapping x
+  process-count) cells and collect :class:`~repro.metrics.result.RunResult`
+  grids.
+- :mod:`repro.bench.experiments` -- one experiment definition per paper
+  figure/table, with the exact mapping sets, process counts, platforms and
+  workload variants used in Section 5 (scaled by ``time_scale``).
+- :mod:`repro.bench.reporting` -- printers that emit the same rows/series
+  the paper reports.
+
+The ``benchmarks/`` directory at the repository root drives these under
+pytest-benchmark; ``python -m repro bench <experiment>`` runs them
+standalone.
+"""
+
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    Experiment,
+    get_experiment,
+    list_experiments,
+)
+from repro.bench.harness import BenchConfig, run_cell, run_grid
+
+__all__ = [
+    "BenchConfig",
+    "EXPERIMENTS",
+    "Experiment",
+    "get_experiment",
+    "list_experiments",
+    "run_cell",
+    "run_grid",
+]

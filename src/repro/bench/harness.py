@@ -1,0 +1,99 @@
+"""Grid runner for the evaluation experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro import run
+from repro.core.graph import WorkflowGraph
+from repro.metrics.result import RunResult
+from repro.platforms.profiles import PlatformProfile, get_platform
+
+#: A workflow factory returns a fresh (graph, inputs) pair per run --
+#: graphs are single-use because PE instances accumulate state.
+WorkflowFactory = Callable[[], Tuple[WorkflowGraph, list]]
+
+
+@dataclass
+class BenchConfig:
+    """Shared knobs of a benchmark session.
+
+    Attributes
+    ----------
+    time_scale:
+        Nominal-to-real scale for every run.  The default replays the
+        paper's second-scale workloads at 1.5% speed, keeping the full
+        grid tractable; ratios are scale-invariant (DESIGN.md).
+    seed:
+        Run seed (identical across cells for comparability).
+    repeats:
+        Repetitions per cell; the median runtime/process-time is kept.
+    """
+
+    time_scale: float = 0.015
+    seed: int = 0
+    repeats: int = 1
+    extra_options: Dict[str, Any] = field(default_factory=dict)
+
+
+def run_cell(
+    factory: WorkflowFactory,
+    mapping: str,
+    processes: int,
+    platform: PlatformProfile,
+    config: Optional[BenchConfig] = None,
+    **options: Any,
+) -> RunResult:
+    """Run one (mapping, processes) cell, returning the median repeat."""
+    config = config or BenchConfig()
+    merged = {**config.extra_options, **options}
+    results: List[RunResult] = []
+    for _ in range(max(1, config.repeats)):
+        graph, inputs = factory()
+        results.append(
+            run(
+                graph,
+                inputs=inputs,
+                processes=processes,
+                mapping=mapping,
+                platform=platform,
+                time_scale=config.time_scale,
+                seed=config.seed,
+                **merged,
+            )
+        )
+    results.sort(key=lambda r: r.runtime)
+    return results[len(results) // 2]
+
+
+def run_grid(
+    factory: WorkflowFactory,
+    mappings: Iterable[str],
+    processes: Iterable[int],
+    platform: "PlatformProfile | str",
+    config: Optional[BenchConfig] = None,
+    skip: Optional[Callable[[str, int], bool]] = None,
+    **options: Any,
+) -> Dict[Tuple[str, int], RunResult]:
+    """Run the full (mapping x processes) grid for one workload.
+
+    Parameters
+    ----------
+    skip:
+        Optional predicate ``(mapping, processes) -> bool``; cells for
+        which it returns True are omitted (e.g. ``multi`` below its
+        minimum process count, exactly as the paper's figures start the
+        ``multi`` series later).
+    """
+    if isinstance(platform, str):
+        platform = get_platform(platform)
+    grid: Dict[Tuple[str, int], RunResult] = {}
+    for mapping in mappings:
+        for p in processes:
+            if skip is not None and skip(mapping, p):
+                continue
+            grid[(mapping, p)] = run_cell(
+                factory, mapping, p, platform, config, **options
+            )
+    return grid

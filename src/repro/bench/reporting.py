@@ -1,0 +1,86 @@
+"""Shape assertions for reproduced experiments.
+
+The reproduction cannot match the paper's absolute numbers (different
+hardware, scaled time), but the *shape* of every result must hold.  These
+helpers express the paper's qualitative claims as assertable predicates;
+the benchmark suite and the integration tests share them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from repro.metrics.ratios import summarize_ratios
+from repro.metrics.result import RunResult
+
+Grid = Dict[Tuple[str, int], RunResult]
+
+
+def runtimes_decrease_with_processes(
+    grid: Grid, mapping: str, tolerance: float = 1.40
+) -> bool:
+    """Section 5.2: "All techniques show a decreasing trend for runtime".
+
+    Allows bounded local noise (``tolerance`` per step) but requires the
+    endpoint to improve on the start.
+    """
+    series = sorted(
+        ((p, r.runtime) for (m, p), r in grid.items() if m == mapping),
+    )
+    if len(series) < 2:
+        return True
+    for (_, earlier), (_, later) in zip(series, series[1:]):
+        if later > earlier * tolerance:
+            return False
+    return series[-1][1] < series[0][1] * 1.05
+
+
+def process_time_increases_with_processes(grid: Grid, mapping: str) -> bool:
+    """Section 5.3: process time "exhibits an increased trend" with workers."""
+    series = sorted(
+        ((p, r.process_time) for (m, p), r in grid.items() if m == mapping),
+    )
+    if len(series) < 2:
+        return True
+    return series[-1][1] > series[0][1]
+
+
+def autoscaling_saves_process_time(
+    grid: Grid, auto_mapping: str, base_mapping: str, threshold: float = 1.0
+) -> bool:
+    """Tables 1-2: auto-scaling's mean process-time ratio is below 1."""
+    summary = summarize_ratios(grid, auto_mapping, base_mapping)
+    mean, _std = summary.process_time_mean_std
+    return mean < threshold
+
+
+def mapping_dominates(
+    grid: Grid, fast: str, slow: str, processes: Iterable[int], metric: str = "runtime"
+) -> bool:
+    """True if ``fast`` beats ``slow`` on ``metric`` at every process count."""
+    for p in processes:
+        a = grid.get((fast, p))
+        b = grid.get((slow, p))
+        if a is None or b is None:
+            continue
+        if getattr(a, metric) >= getattr(b, metric):
+            return False
+    return True
+
+
+def redis_slower_than_multiprocessing(grid: Grid, processes: Iterable[int]) -> bool:
+    """Section 5.6: Multiprocessing optimizations outperform Redis ones.
+
+    Compared pairwise (dyn vs dyn, auto vs auto) on mean runtime across the
+    shared process counts.
+    """
+    def mean_runtime(mapping: str) -> float:
+        values = [
+            grid[(mapping, p)].runtime for p in processes if (mapping, p) in grid
+        ]
+        return sum(values) / len(values) if values else float("nan")
+
+    return (
+        mean_runtime("dyn_redis") > mean_runtime("dyn_multi")
+        and mean_runtime("dyn_auto_redis") > mean_runtime("dyn_auto_multi")
+    )

@@ -1,0 +1,129 @@
+"""Command-line interface.
+
+Examples::
+
+    # run a workflow with a mapping
+    repro run galaxy --mapping dyn_auto_multi --processes 10 --scale 1
+
+    # regenerate one paper artifact
+    repro bench fig08
+    repro bench table3
+
+    # list what is available
+    repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import run
+from repro.bench.experiments import get_experiment, list_experiments
+from repro.bench.harness import BenchConfig
+from repro.mappings import mapping_names
+from repro.platforms.profiles import get_platform
+from repro.workflows import (
+    build_internal_extinction_workflow,
+    build_seismic_phase1_workflow,
+    build_seismic_phase2_workflow,
+    build_sentiment_workflow,
+)
+
+_WORKFLOWS = {
+    "galaxy": lambda args: build_internal_extinction_workflow(
+        scale=args.scale, heavy=args.heavy
+    ),
+    "seismic": lambda args: build_seismic_phase1_workflow(stations=args.stations),
+    "seismic2": lambda args: build_seismic_phase2_workflow(stations=min(args.stations, 16)),
+    "sentiment": lambda args: build_sentiment_workflow(articles=args.articles),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Stream-based workflow engine with auto-scaling and "
+        "stateful hybrid mappings (WORKS 2023 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one workflow with one mapping")
+    run_p.add_argument("workflow", choices=sorted(_WORKFLOWS))
+    run_p.add_argument("--mapping", default="dyn_multi", choices=mapping_names())
+    run_p.add_argument("--processes", type=int, default=8)
+    run_p.add_argument("--platform", default="laptop")
+    run_p.add_argument("--time-scale", type=float, default=0.02)
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--scale", type=int, default=1, help="galaxy workload multiplier")
+    run_p.add_argument("--heavy", action="store_true", help="galaxy heavy variant")
+    run_p.add_argument("--stations", type=int, default=50)
+    run_p.add_argument("--articles", type=int, default=200)
+
+    bench_p = sub.add_parser("bench", help="regenerate one paper figure/table")
+    bench_p.add_argument("experiment", choices=list_experiments())
+    bench_p.add_argument("--time-scale", type=float, default=None)
+    bench_p.add_argument("--repeats", type=int, default=1)
+
+    sub.add_parser("list", help="list workflows, mappings and experiments")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    graph, inputs = _WORKFLOWS[args.workflow](args)
+    result = run(
+        graph,
+        inputs=inputs,
+        processes=args.processes,
+        mapping=args.mapping,
+        platform=get_platform(args.platform),
+        time_scale=args.time_scale,
+        seed=args.seed,
+    )
+    print(
+        f"workflow={result.workflow} mapping={result.mapping} "
+        f"processes={result.processes}"
+    )
+    print(f"runtime      = {result.runtime:.3f} s (real, time_scale={args.time_scale})")
+    print(f"process time = {result.process_time:.3f} s")
+    print(f"outputs      = {result.total_outputs()} data units")
+    for key, values in sorted(result.outputs.items()):
+        print(f"  {key}: {len(values)} items")
+    if result.trace is not None:
+        print(
+            f"auto-scaler  = {len(result.trace)} iterations, "
+            f"active size range [{result.trace.min_active()}, "
+            f"{result.trace.max_active()}]"
+        )
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    experiment = get_experiment(args.experiment)
+    config = experiment.config
+    if args.time_scale is not None or args.repeats != 1:
+        config = BenchConfig(
+            time_scale=args.time_scale or config.time_scale,
+            repeats=args.repeats,
+        )
+    report, _grids = experiment.run_and_report(config)
+    print(report)
+    return 0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("workflows  :", ", ".join(sorted(_WORKFLOWS)))
+    print("mappings   :", ", ".join(mapping_names()))
+    print("experiments:", ", ".join(list_experiments()))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {"run": _cmd_run, "bench": _cmd_bench, "list": _cmd_list}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""Core workflow model: the dispel4py-equivalent abstraction layer.
+
+Users compose **processing elements** (PEs) into an **abstract workflow**
+(a DAG), optionally declaring **groupings** on input connections; a
+**mapping** then translates the abstract workflow into a **concrete
+workflow** (PE instances + routing tables) and enacts it (Figure 1 of the
+paper).  This package owns everything up to -- but not including -- the
+enactment: PE base classes, ports, groupings, the graph, validation, and
+the abstract-to-concrete translation.
+"""
+
+from repro.core.concrete import ConcreteWorkflow, EdgeRouter
+from repro.core.context import ExecutionContext
+from repro.core.exceptions import (
+    GraphError,
+    InsufficientProcessesError,
+    MappingError,
+    PortError,
+    UnsupportedFeatureError,
+    ValidationError,
+)
+from repro.core.graph import Edge, WorkflowGraph
+from repro.core.groupings import AllToOne, GroupBy, Grouping, OneToAll, Shuffle, as_grouping
+from repro.core.partition import allocate_instances
+from repro.core.pe import (
+    ConsumerPE,
+    FunctionPE,
+    GenericPE,
+    IterativePE,
+    ProducerPE,
+)
+
+__all__ = [
+    "AllToOne",
+    "ConcreteWorkflow",
+    "ConsumerPE",
+    "Edge",
+    "EdgeRouter",
+    "ExecutionContext",
+    "FunctionPE",
+    "GenericPE",
+    "GraphError",
+    "GroupBy",
+    "Grouping",
+    "InsufficientProcessesError",
+    "IterativePE",
+    "MappingError",
+    "OneToAll",
+    "PortError",
+    "ProducerPE",
+    "Shuffle",
+    "UnsupportedFeatureError",
+    "ValidationError",
+    "WorkflowGraph",
+    "allocate_instances",
+    "as_grouping",
+]

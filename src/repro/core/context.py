@@ -1,0 +1,84 @@
+"""Execution context handed to PE instances by the enactment engine.
+
+A PE's synthetic workload and randomness must go through the context so
+that:
+
+- durations respect the global :class:`~repro.runtime.clock.Clock` scale,
+- CPU-bound work contends for the platform's emulated cores
+  (:class:`~repro.runtime.cores.CoreLimiter`) while IO waits do not,
+- random draws are reproducible per instance (seeded from the run seed and
+  the instance id).
+
+The context is deliberately *shared* across deep copies: the dynamic
+mappings deep-copy the workflow graph per worker (Algorithm 1, line 49),
+and all copies must keep contending for the same emulated cores and clock.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.runtime.clock import Clock
+from repro.runtime.cores import CoreLimiter
+
+
+class ExecutionContext:
+    """Per-run execution environment shared by all PE instances.
+
+    Parameters
+    ----------
+    clock:
+        Time source/scaler for all synthetic durations.
+    cores:
+        Emulated-core limiter of the platform profile.
+    seed:
+        Run-level random seed; instance RNGs derive from it.
+    """
+
+    def __init__(
+        self,
+        clock: Optional[Clock] = None,
+        cores: Optional[CoreLimiter] = None,
+        seed: int = 0,
+        cpu_speed: float = 1.0,
+    ) -> None:
+        if cpu_speed <= 0:
+            raise ValueError("cpu_speed must be positive")
+        self.clock = clock if clock is not None else Clock()
+        self.cores = cores if cores is not None else CoreLimiter(None)
+        self.seed = seed
+        self.cpu_speed = cpu_speed
+
+    def rng_for(self, instance_id: str) -> np.random.Generator:
+        """Deterministic per-instance random generator."""
+        # Derive a child seed from the run seed + instance identity so that
+        # every instance draws an independent, reproducible stream.
+        child = np.random.SeedSequence([self.seed, _stable_id(instance_id)])
+        return np.random.default_rng(child)
+
+    def compute(self, nominal_seconds: float) -> None:
+        """Burn CPU time: holds an emulated core for the scaled duration.
+
+        The platform's relative CPU speed divides the duration (the paper's
+        *cloud* runs 2.2 GHz parts vs. the *server*'s 2.6 GHz).
+        """
+        self.cores.compute(self.clock, nominal_seconds / self.cpu_speed)
+
+    def io_wait(self, nominal_seconds: float) -> None:
+        """Block without consuming a core (network/disk wait)."""
+        self.clock.sleep(nominal_seconds)
+
+    def __deepcopy__(self, memo: dict) -> "ExecutionContext":
+        # Shared on purpose: copies of the graph must contend for the same
+        # platform resources (and threading primitives are not copyable).
+        return self
+
+
+def _stable_id(text: str) -> int:
+    """Stable small integer derived from an instance id string."""
+    acc = 0
+    for ch in text:
+        acc = (acc * 131 + ord(ch)) % (2**31 - 1)
+    return acc

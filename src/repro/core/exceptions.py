@@ -1,0 +1,43 @@
+"""Exception hierarchy of the workflow engine."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all engine errors."""
+
+
+class GraphError(ReproError):
+    """Structural problem in a workflow graph (unknown PE, duplicate name...)."""
+
+
+class PortError(GraphError):
+    """Connection references an undeclared input or output port."""
+
+
+class ValidationError(GraphError):
+    """Graph failed validation (cycle, disconnected mandatory port...)."""
+
+
+class MappingError(ReproError):
+    """A mapping could not enact the workflow as configured."""
+
+
+class InsufficientProcessesError(MappingError):
+    """Fewer processes than the minimum the mapping requires.
+
+    The static ``multi`` mapping needs at least one process per PE instance
+    (the paper notes Seismic's 9 PEs force ``multi`` to start at 12
+    processes, and Sentiment's pinned stateful instances force 14).
+    """
+
+
+class UnsupportedFeatureError(MappingError):
+    """Workflow uses a feature the chosen mapping cannot handle.
+
+    The flagship example from the paper: plain dynamic scheduling
+    (``dyn_multi``/``dyn_redis``/their auto-scaling variants) "exclusively
+    manages stateless PEs and lacks support for grouping" -- enacting a
+    stateful workflow with them raises this error, and ``hybrid_redis``
+    (Section 3.1.2) is the mapping that lifts the restriction.
+    """

@@ -1,0 +1,167 @@
+"""Groupings: how data units are distributed over destination PE instances.
+
+Groupings (Section 2.1 of the paper) govern communication on input
+connections.  The engine supports the four dispel4py groupings the
+evaluation workflows use:
+
+- :class:`Shuffle` -- the default; data units are spread round-robin over
+  destination instances (load balancing, no state implications).
+- :class:`GroupBy` -- "operates akin to MapReduce": units with equal values
+  in the keyed element(s) always reach the same instance (e.g. the
+  ``happy State`` PE grouped by ``'state'`` in Figure 7).
+- :class:`AllToOne` (dispel4py's *global* grouping) -- every unit is routed
+  to one single instance (the ``top 3 happiest`` PE).
+- :class:`OneToAll` -- every unit is broadcast to all instances.
+
+``GroupBy`` and ``AllToOne`` make the consuming PE *stateful* from the
+engine's point of view: correctness depends on which instance sees which
+units, which is exactly what plain dynamic scheduling cannot honour and the
+hybrid mapping (Section 3.1.2) restores.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from typing import Any, Callable, List, Optional, Sequence, Union
+
+
+def _stable_hash(value: Any) -> int:
+    """Deterministic cross-run hash of an arbitrary picklable value.
+
+    ``hash()`` is salted per interpreter for str/bytes, which would make
+    group-by routing non-reproducible across runs; md5 over the pickle is
+    stable and cheap at this payload size.
+    """
+    payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    return int.from_bytes(hashlib.md5(payload).digest()[:8], "big")
+
+
+class Grouping:
+    """Base class: an immutable routing *specification*.
+
+    Routing *state* (e.g. round-robin counters) lives in routers created via
+    :meth:`new_state`; the concrete workflow creates one state per
+    (edge, source-instance) so each producer routes independently, as
+    separate OS processes would.
+    """
+
+    #: Whether this grouping pins data units to specific instances, making
+    #: the destination PE stateful.
+    requires_state = False
+
+    def new_state(self) -> Optional[dict]:
+        """Mutable routing state for one producer instance (None if stateless)."""
+        return None
+
+    def route(self, data: Any, n_instances: int, state: Optional[dict]) -> List[int]:
+        """Destination instance indices for one data unit (usually one)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class Shuffle(Grouping):
+    """Round-robin distribution (the engine default)."""
+
+    def new_state(self) -> dict:
+        return {"next": 0}
+
+    def route(self, data: Any, n_instances: int, state: Optional[dict]) -> List[int]:
+        if state is None:
+            raise ValueError("Shuffle requires routing state; use new_state()")
+        index = state["next"] % n_instances
+        state["next"] = index + 1
+        return [index]
+
+
+class GroupBy(Grouping):
+    """Hash-partition on the value(s) of keyed element(s) of each data unit.
+
+    Parameters
+    ----------
+    keys:
+        What identifies the partition key within a data unit:
+
+        - a sequence of ints -- indices into tuple/list data (dispel4py's
+          classic ``grouping=[0]`` style),
+        - a sequence of strs -- keys into mapping data,
+        - a callable -- arbitrary key extraction.
+    """
+
+    requires_state = True
+
+    def __init__(self, keys: Union[Sequence[int], Sequence[str], Callable[[Any], Any]]) -> None:
+        if callable(keys):
+            self._extract: Callable[[Any], Any] = keys
+            self.keys: Optional[tuple] = None
+        else:
+            keys = tuple(keys)
+            if not keys:
+                raise ValueError("GroupBy requires at least one key")
+            self.keys = keys
+            self._extract = self._indexed_extract
+        super().__init__()
+
+    def _indexed_extract(self, data: Any) -> Any:
+        assert self.keys is not None
+        return tuple(data[k] for k in self.keys)
+
+    def key_of(self, data: Any) -> Any:
+        """The partition key of a data unit (exposed for the hybrid mapping)."""
+        return self._extract(data)
+
+    def route(self, data: Any, n_instances: int, state: Optional[dict]) -> List[int]:
+        return [_stable_hash(self.key_of(data)) % n_instances]
+
+    def __repr__(self) -> str:
+        inner = "<callable>" if self.keys is None else repr(list(self.keys))
+        return f"GroupBy({inner})"
+
+
+class AllToOne(Grouping):
+    """dispel4py's *global* grouping: everything to instance 0."""
+
+    requires_state = True
+
+    def route(self, data: Any, n_instances: int, state: Optional[dict]) -> List[int]:
+        return [0]
+
+
+class OneToAll(Grouping):
+    """Broadcast: every data unit is delivered to every instance."""
+
+    requires_state = True
+
+    def route(self, data: Any, n_instances: int, state: Optional[dict]) -> List[int]:
+        return list(range(n_instances))
+
+
+def as_grouping(spec: Union[None, str, Sequence, Callable, Grouping]) -> Grouping:
+    """Coerce user shorthand into a :class:`Grouping`.
+
+    - ``None`` / ``"shuffle"`` -> :class:`Shuffle`
+    - ``"global"`` / ``"all_to_one"`` -> :class:`AllToOne`
+    - ``"one_to_all"`` / ``"broadcast"`` -> :class:`OneToAll`
+    - list/tuple of indices or keys, or a callable -> :class:`GroupBy`
+    - an existing :class:`Grouping` passes through.
+    """
+    if spec is None:
+        return Shuffle()
+    if isinstance(spec, Grouping):
+        return spec
+    if isinstance(spec, str):
+        lowered = spec.lower()
+        if lowered in ("shuffle", "round_robin", "none"):
+            return Shuffle()
+        if lowered in ("global", "all_to_one"):
+            return AllToOne()
+        if lowered in ("one_to_all", "broadcast", "all"):
+            return OneToAll()
+        raise ValueError(f"unknown grouping name {spec!r}")
+    if callable(spec):
+        return GroupBy(spec)
+    if isinstance(spec, (list, tuple)):
+        return GroupBy(spec)
+    raise TypeError(f"cannot interpret {spec!r} as a grouping")

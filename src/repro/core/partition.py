@@ -1,0 +1,92 @@
+"""Abstract-to-concrete instance allocation (the static deployment rule).
+
+The paper's Figure 1 illustrates the native static allocation: mapping a
+4-PE workflow onto 12 processes assigns the first (source) PE a single
+process and divides the remaining 11 evenly among the other PEs (3 each),
+leaving 2 processes idle.  This module implements exactly that rule,
+generalized to honour explicit ``numprocesses`` pins (the Sentiment
+workflow pins ``happy State`` to 4 instances and ``top 3 happiest`` to 2).
+
+The inefficiency of the leftover idle processes is deliberate -- it is the
+motivation the paper gives for dynamic scheduling and auto-scaling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core.exceptions import InsufficientProcessesError
+from repro.core.graph import WorkflowGraph
+
+
+def minimum_processes(graph: WorkflowGraph) -> int:
+    """Smallest process count the static allocation can work with."""
+    total = 0
+    roots = {pe.name for pe in graph.roots()}
+    for name, pe in graph.pes.items():
+        if pe.numprocesses is not None:
+            total += pe.numprocesses
+        elif name in roots:
+            total += 1
+        else:
+            total += 1
+    return total
+
+
+def allocate_instances(
+    graph: WorkflowGraph, num_processes: int
+) -> Tuple[Dict[str, int], int]:
+    """Static allocation of ``num_processes`` to PE instances.
+
+    Returns ``(allocation, idle)`` where ``allocation`` maps PE name to
+    instance count and ``idle`` is the number of processes left unused by
+    the floor division (Figure 1's two idle cores).
+
+    Raises
+    ------
+    InsufficientProcessesError
+        If the graph cannot fit: every PE needs at least one instance and
+        pinned PEs need their requested count.
+    """
+    if num_processes < 1:
+        raise InsufficientProcessesError("need at least one process")
+    graph.validate()
+
+    allocation: Dict[str, int] = {}
+    roots = {pe.name for pe in graph.roots()}
+    flexible = []
+    fixed_total = 0
+    for name, pe in graph.pes.items():
+        if pe.numprocesses is not None:
+            if pe.numprocesses < 1:
+                raise InsufficientProcessesError(
+                    f"PE {name!r} requests {pe.numprocesses} instances"
+                )
+            allocation[name] = pe.numprocesses
+            fixed_total += pe.numprocesses
+        elif name in roots:
+            # Sources read sequential external input; one instance (Fig. 1).
+            allocation[name] = 1
+            fixed_total += 1
+        else:
+            flexible.append(name)
+
+    remaining = num_processes - fixed_total
+    if flexible:
+        per_pe = remaining // len(flexible)
+        if per_pe < 1:
+            raise InsufficientProcessesError(
+                f"workflow {graph.name!r} needs at least "
+                f"{minimum_processes(graph)} processes, got {num_processes}"
+            )
+        for name in flexible:
+            allocation[name] = per_pe
+        idle = remaining - per_pe * len(flexible)
+    else:
+        if remaining < 0:
+            raise InsufficientProcessesError(
+                f"workflow {graph.name!r} needs at least {fixed_total} "
+                f"processes, got {num_processes}"
+            )
+        idle = remaining
+    return allocation, idle

@@ -1,0 +1,72 @@
+"""Enactment mappings: the six techniques evaluated in the paper.
+
+========================  ===================================================
+Name                      Description
+========================  ===================================================
+``simple``                Sequential reference mapping.
+``multi``                 Native static Multiprocessing mapping (baseline).
+``dyn_multi``             Dynamic scheduling on a global queue [Liang22].
+``dyn_auto_multi``        + auto-scaling (queue-size strategy), Section 3.2.
+``dyn_redis``             Dynamic scheduling on a Redis Stream, Section 3.1.1.
+``dyn_auto_redis``        + auto-scaling (idle-time strategy), Section 3.2.
+``hybrid_redis``          Stateful-aware hybrid mapping, Section 3.1.2.
+========================  ===================================================
+
+Use :func:`get_mapping` to obtain an engine by name, or the top-level
+:func:`repro.run` convenience.
+"""
+
+from typing import Dict, List, Type
+
+from repro.mappings.base import Mapping, normalize_inputs
+from repro.mappings.dyn_auto import DynAutoMultiMapping
+from repro.mappings.dynamic import DynMultiMapping
+from repro.mappings.hybrid import HybridRedisMapping
+from repro.mappings.multi import MultiMapping
+from repro.mappings.redis_auto import DynAutoRedisMapping
+from repro.mappings.redis_dynamic import DynRedisMapping
+from repro.mappings.simple import SimpleMapping
+from repro.mappings.termination import TerminationPolicy
+
+_MAPPINGS: Dict[str, Type[Mapping]] = {
+    cls.name: cls
+    for cls in (
+        SimpleMapping,
+        MultiMapping,
+        DynMultiMapping,
+        DynAutoMultiMapping,
+        DynRedisMapping,
+        DynAutoRedisMapping,
+        HybridRedisMapping,
+    )
+}
+
+
+def mapping_names() -> List[str]:
+    """All registered mapping names."""
+    return sorted(_MAPPINGS)
+
+
+def get_mapping(name: str) -> Mapping:
+    """Instantiate a mapping engine by registry name."""
+    try:
+        return _MAPPINGS[name]()
+    except KeyError:
+        known = ", ".join(mapping_names())
+        raise KeyError(f"unknown mapping {name!r}; known: {known}") from None
+
+
+__all__ = [
+    "DynAutoMultiMapping",
+    "DynAutoRedisMapping",
+    "DynMultiMapping",
+    "HybridRedisMapping",
+    "Mapping",
+    "MultiMapping",
+    "SimpleMapping",
+    "DynRedisMapping",
+    "TerminationPolicy",
+    "get_mapping",
+    "mapping_names",
+    "normalize_inputs",
+]

@@ -1,0 +1,316 @@
+"""Shared machinery for all enactment mappings.
+
+A :class:`Mapping` translates an abstract workflow into a concrete one and
+enacts it (Figure 1).  Subclasses implement :meth:`Mapping._enact`; this
+base class owns everything common to all six mappings:
+
+- validation and feature gating (stateless-only mappings reject stateful
+  graphs with :class:`~repro.core.exceptions.UnsupportedFeatureError`; Redis
+  mappings reject platforms without Redis),
+- construction of the run-wide :class:`~repro.core.context.ExecutionContext`
+  (clock, emulated cores, seeds),
+- input normalization (how source PEs are driven),
+- output collection (emissions on unconnected ports become results),
+- metric capture (runtime + total process time via the activity meter).
+"""
+
+from __future__ import annotations
+
+import copy
+import pickle
+import threading
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.autoscale.trace import ScalingTrace
+from repro.core.concrete import ConcreteWorkflow, Delivery, instance_id
+from repro.core.context import ExecutionContext
+from repro.core.exceptions import MappingError, UnsupportedFeatureError
+from repro.core.graph import WorkflowGraph
+from repro.core.pe import GenericPE
+from repro.metrics.result import RunResult
+from repro.platforms.profiles import LAPTOP, PlatformProfile
+from repro.runtime.accounting import ActivityMeter
+from repro.runtime.clock import Clock
+
+InputSpec = Union[None, int, List[Any], Dict[str, Union[int, List[Any]]]]
+
+
+def marshal(data: Any, copy_payloads: bool = False) -> Any:
+    """Hand a payload across a queue boundary.
+
+    With ``copy_payloads`` the payload is pickle round-tripped, as crossing
+    a real process boundary would.  The default is pass-through: payload
+    *ownership transfers* at emission (a producer never touches an emitted
+    object again, matching dispel4py semantics), so the copy is not needed
+    for correctness -- and under threads the pickle work would serialize on
+    the GIL, distorting exactly the scaling behaviour being measured (real
+    processes pay serialization cost in parallel).  The Redis mappings keep
+    full client-side serialization, where it models a real client encoding
+    its output buffer.
+    """
+    if copy_payloads:
+        return pickle.loads(pickle.dumps(data, protocol=pickle.HIGHEST_PROTOCOL))
+    return data
+
+
+def normalize_inputs(
+    graph: WorkflowGraph, inputs: InputSpec
+) -> Dict[str, List[Dict[str, Any]]]:
+    """Resolve the user's input spec into per-root lists of input mappings.
+
+    Accepted forms (mirroring dispel4py's ``process(graph, inputs=...)``):
+
+    - ``None`` -- each source PE is invoked once with empty inputs.
+    - ``int n`` -- each source PE is invoked ``n`` times; if the PE declares
+      an input port, iteration indices ``0..n-1`` are fed to its first
+      input port (the common "read item i" source idiom).
+    - ``list`` -- one invocation per item for every source; dict items are
+      taken as full input mappings, other values are fed to the source's
+      first input port.
+    - ``dict`` -- maps source PE name to any of the above.
+    """
+    roots = graph.roots()
+    if not roots:
+        raise MappingError(f"workflow {graph.name!r} has no source PE")
+
+    def expand(pe: GenericPE, spec: Union[int, List[Any], None]) -> List[Dict[str, Any]]:
+        first_port = next(iter(pe.inputconnections), None)
+        if spec is None:
+            return [{}]
+        if isinstance(spec, int):
+            if spec < 0:
+                raise MappingError(f"iteration count must be >= 0, got {spec}")
+            if first_port is None:
+                return [{} for _ in range(spec)]
+            return [{first_port: i} for i in range(spec)]
+        items: List[Dict[str, Any]] = []
+        for item in spec:
+            if isinstance(item, dict):
+                items.append(item)
+            elif first_port is not None:
+                items.append({first_port: item})
+            else:
+                raise MappingError(
+                    f"source PE {pe.name!r} has no input port to feed {item!r} to"
+                )
+        return items
+
+    if isinstance(inputs, dict):
+        provided = {}
+        root_names = {pe.name for pe in roots}
+        for name, spec in inputs.items():
+            if name not in graph.pes:
+                raise MappingError(f"inputs reference unknown PE {name!r}")
+            if name not in root_names:
+                raise MappingError(f"inputs reference non-source PE {name!r}")
+            provided[name] = expand(graph.pe(name), spec)
+        for pe in roots:
+            provided.setdefault(pe.name, [])
+        return provided
+    return {pe.name: expand(pe, inputs) for pe in roots}
+
+
+class ResultsCollector:
+    """Thread-safe sink for emissions on unconnected output ports."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._data: Dict[str, List[Any]] = {}
+
+    def add(self, pe_name: str, port: str, value: Any) -> None:
+        key = f"{pe_name}.{port}"
+        with self._lock:
+            self._data.setdefault(key, []).append(value)
+
+    def as_dict(self) -> Dict[str, List[Any]]:
+        with self._lock:
+            return {key: list(values) for key, values in self._data.items()}
+
+
+class Counters:
+    """Thread-safe named counters for engine instrumentation."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._data: Dict[str, int] = {}
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._data[name] = self._data.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        with self._lock:
+            return self._data.get(name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._data)
+
+
+def instantiate(pe: GenericPE, index: int, num_instances: int, ctx: ExecutionContext) -> GenericPE:
+    """Deep-copy a PE into one runnable instance bound to the run context."""
+    clone = copy.deepcopy(pe)
+    clone.instance_index = index
+    clone.num_instances = num_instances
+    clone.instance_id = instance_id(pe.name, index)
+    clone.ctx = ctx
+    clone.rng = ctx.rng_for(clone.instance_id)
+    return clone
+
+
+def dispatch_emissions(
+    concrete: ConcreteWorkflow,
+    collector: ResultsCollector,
+    pe_name: str,
+    index: int,
+    emissions: List[Tuple[str, Any]],
+) -> List[Delivery]:
+    """Route one invocation's emissions; collect unconnected-port output."""
+    deliveries: List[Delivery] = []
+    for port, data in emissions:
+        if concrete.graph.out_edges(pe_name, port):
+            deliveries.extend(concrete.route_output(pe_name, index, port, data))
+        else:
+            collector.add(pe_name, port, data)
+    return deliveries
+
+
+class EnactmentState:
+    """Everything :meth:`Mapping._enact` needs, bundled."""
+
+    def __init__(
+        self,
+        graph: WorkflowGraph,
+        provided: Dict[str, List[Dict[str, Any]]],
+        processes: int,
+        ctx: ExecutionContext,
+        platform: PlatformProfile,
+        meter: ActivityMeter,
+        collector: ResultsCollector,
+        counters: Counters,
+        options: Dict[str, Any],
+    ) -> None:
+        self.graph = graph
+        self.provided = provided
+        self.processes = processes
+        self.ctx = ctx
+        self.platform = platform
+        self.meter = meter
+        self.collector = collector
+        self.counters = counters
+        self.options = options
+        self.errors: List[BaseException] = []
+        self._errors_lock = threading.Lock()
+
+    @property
+    def clock(self) -> Clock:
+        return self.ctx.clock
+
+    def record_error(self, exc: BaseException) -> None:
+        with self._errors_lock:
+            self.errors.append(exc)
+
+    def raise_errors(self) -> None:
+        with self._errors_lock:
+            if self.errors:
+                first = self.errors[0]
+                raise MappingError(
+                    f"{len(self.errors)} worker error(s); first: {first!r}"
+                ) from first
+
+
+class Mapping:
+    """Base class of all enactment engines."""
+
+    #: Registry name (``multi``, ``dyn_multi``, ...).
+    name = "abstract"
+    #: Whether the mapping can honour stateful PEs / groupings.
+    supports_stateful = True
+    #: Whether the mapping needs a Redis deployment on the platform.
+    requires_redis = False
+
+    def execute(
+        self,
+        graph: WorkflowGraph,
+        inputs: InputSpec = None,
+        processes: int = 1,
+        platform: PlatformProfile = LAPTOP,
+        time_scale: float = 1.0,
+        seed: int = 0,
+        **options: Any,
+    ) -> RunResult:
+        """Enact ``graph`` and return the measured :class:`RunResult`.
+
+        Parameters
+        ----------
+        graph:
+            The abstract workflow.
+        inputs:
+            How source PEs are driven; see :func:`normalize_inputs`.
+        processes:
+            Total worker processes (the paper's x-axis).
+        platform:
+            Emulated platform profile (cores, speeds, latencies).
+        time_scale:
+            Nominal-to-real time multiplier for all synthetic durations.
+        seed:
+            Run-level random seed (per-instance RNGs derive from it).
+        options:
+            Mapping-specific tuning; unknown keys raise.
+        """
+        if processes < 1:
+            raise MappingError(f"processes must be >= 1, got {processes}")
+        graph.validate()
+        if graph.is_stateful() and not self.supports_stateful:
+            raise UnsupportedFeatureError(
+                f"mapping {self.name!r} supports only stateless workflows; "
+                f"{graph.name!r} contains stateful PEs or state-pinning "
+                f"groupings (use hybrid_redis or multi)"
+            )
+        if self.requires_redis and not platform.redis_available:
+            raise MappingError(
+                f"platform {platform.name!r} has no Redis deployment; "
+                f"mapping {self.name!r} cannot run there"
+            )
+        clock = Clock(time_scale)
+        ctx = ExecutionContext(
+            clock=clock,
+            cores=platform.make_core_limiter(),
+            seed=seed,
+            cpu_speed=platform.cpu_speed,
+        )
+        provided = normalize_inputs(graph, inputs)
+        meter = ActivityMeter(clock)
+        collector = ResultsCollector()
+        counters = Counters()
+        state = EnactmentState(
+            graph=graph,
+            provided=provided,
+            processes=processes,
+            ctx=ctx,
+            platform=platform,
+            meter=meter,
+            collector=collector,
+            counters=counters,
+            options=dict(options),
+        )
+        started = clock.now()
+        trace = self._enact(state)
+        runtime = clock.now() - started
+        meter.close()
+        state.raise_errors()
+        return RunResult(
+            mapping=self.name,
+            workflow=graph.name,
+            processes=processes,
+            runtime=runtime,
+            process_time=meter.total(),
+            outputs=collector.as_dict(),
+            counters=counters.as_dict(),
+            trace=trace,
+            per_worker_time=meter.per_worker(),
+        )
+
+    def _enact(self, state: EnactmentState) -> Optional[ScalingTrace]:
+        """Run the workflow; return a scaling trace if the mapping has one."""
+        raise NotImplementedError

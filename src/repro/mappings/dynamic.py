@@ -1,0 +1,192 @@
+"""Dynamic scheduling over a multiprocessing-style global queue.
+
+``dyn_multi`` (Figure 2): instead of pre-assigning PEs to processes, the
+whole workflow graph is given to every worker, and a **global queue** holds
+``(PE, port, data)`` tasks.  Workers fetch whatever task is available,
+execute the referenced PE on their own graph copy, push any produced tasks
+back, and repeat.  Load balances itself; per-PE instance boundaries vanish
+-- which is also why plain dynamic scheduling cannot honour stateful PEs or
+groupings (enforced by ``supports_stateful = False``).
+
+Termination follows Section 3.2.3: a worker that keeps finding the queue
+empty (``empty_retries`` consecutive timeouts) evaluates the termination
+condition and, if met, broadcasts poison pills so its peers exit without
+waiting out their own retry budgets.  The safe condition is the
+outstanding-work proof of :class:`~repro.runtime.queues.TrackedQueue`; the
+paper's raw emptiness check is available for the ablation via
+``TerminationPolicy(unsafe_empty_check=True)``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+from repro.autoscale.trace import ScalingTrace
+from repro.core.concrete import ConcreteWorkflow
+from repro.core.pe import GenericPE
+from repro.mappings.base import (
+    EnactmentState,
+    Mapping,
+    dispatch_emissions,
+    instantiate,
+    marshal,
+)
+from repro.mappings.termination import TerminationPolicy
+from repro.runtime.queues import POISON_PILL, Empty, TrackedQueue
+
+#: A task is (pe_name, input_port_or_None, payload).  ``None`` port means
+#: the payload is a full inputs mapping (source-PE driving).
+Task = Tuple[str, Optional[str], Any]
+
+
+class DynamicWorkforce:
+    """Shared mechanics of the dynamic-multiprocessing mappings.
+
+    Owns the global queue, the per-worker graph copies and the task
+    processing/termination loops; ``dyn_multi`` drives it with dedicated
+    always-active workers, ``dyn_auto_multi`` drives it with auto-scaled
+    worker sessions.
+    """
+
+    def __init__(self, state: EnactmentState, policy: TerminationPolicy) -> None:
+        self.state = state
+        self.policy = policy
+        self.queue: TrackedQueue = TrackedQueue()
+        self.concrete = ConcreteWorkflow.single_instance(state.graph)
+        self._copies: Dict[str, Dict[str, GenericPE]] = {}
+        self._copies_lock = threading.Lock()
+        self.pills_sent = threading.Event()
+
+    # ------------------------------------------------------------- seeding
+    def seed_roots(self) -> None:
+        for root, items in self.state.provided.items():
+            for item in items:
+                self.queue.put((root, None, item))
+        self.state.counters.inc("seed_tasks", self.queue.qsize())
+
+    # ------------------------------------------------------------- workers
+    def _graph_copy(self, worker_key: str) -> Dict[str, GenericPE]:
+        """Per-worker deep copy of all PEs (Algorithm 1 line 49)."""
+        with self._copies_lock:
+            copies = self._copies.get(worker_key)
+        if copies is None:
+            copies = {
+                name: instantiate(pe, 0, 1, self.state.ctx)
+                for name, pe in self.state.graph.pes.items()
+            }
+            for pe in copies.values():
+                pe.preprocess()
+            with self._copies_lock:
+                self._copies[worker_key] = copies
+            self.state.counters.inc("graph_copies")
+        return copies
+
+    def process_task(self, copies: Dict[str, GenericPE], task: Task) -> None:
+        """Execute one task and enqueue its children."""
+        pe_name, port, payload = task
+        inputs = payload if port is None else {port: payload}
+        try:
+            emissions = copies[pe_name]._invoke(inputs)
+            self.state.counters.inc("tasks")
+            for delivery in dispatch_emissions(
+                self.concrete, self.state.collector, pe_name, 0, emissions
+            ):
+                if self.state.platform.queue_latency > 0:
+                    self.state.ctx.io_wait(self.state.platform.queue_latency)
+                self.queue.put((delivery.dst, delivery.dst_port, marshal(delivery.data)))
+                self.state.counters.inc("queue_puts")
+        finally:
+            self.queue.mark_done()
+
+    def is_terminated(self) -> bool:
+        """The termination condition (safe by default, see module docs)."""
+        if self.policy.unsafe_empty_check:
+            return self.queue.empty()
+        return self.queue.is_drained()
+
+    def broadcast_pills(self, count: int) -> None:
+        if not self.pills_sent.is_set():
+            self.pills_sent.set()
+            self.queue.put_pill(count)
+            self.state.counters.inc("pills", count)
+
+    def worker_loop(self, worker_key: str, total_workers: int) -> None:
+        """Dedicated-worker loop (dyn_multi): run until termination."""
+        copies = self._graph_copy(worker_key)
+        timeout = self.state.clock.to_real(self.policy.poll_interval)
+        empty_streak = 0
+        while True:
+            try:
+                task = self.queue.get(timeout=timeout)
+            except Empty:
+                empty_streak += 1
+                self.state.counters.inc("empty_polls")
+                if empty_streak >= self.policy.empty_retries and self.is_terminated():
+                    self.broadcast_pills(total_workers)
+                    return
+                continue
+            if task is POISON_PILL:
+                return
+            empty_streak = 0
+            self.process_task(copies, task)
+
+    def drain_session(self, worker_key: str, chunk: int) -> int:
+        """Auto-scaled session: process up to ``chunk`` tasks, stop on empty.
+
+        Returns the number of tasks processed, so the caller can observe
+        starvation.  Sessions never decide termination -- the auto-scaler's
+        ``process`` loop owns that (Algorithm 1).
+        """
+        copies = self._graph_copy(worker_key)
+        timeout = self.state.clock.to_real(self.policy.poll_interval)
+        processed = 0
+        while processed < chunk:
+            try:
+                task = self.queue.get(timeout=timeout)
+            except Empty:
+                break
+            if task is POISON_PILL:
+                break
+            self.process_task(copies, task)
+            processed += 1
+        return processed
+
+
+class DynMultiMapping(Mapping):
+    """Dynamic scheduling on the multiprocessing-style queue (``dyn_multi``)."""
+
+    name = "dyn_multi"
+    supports_stateful = False
+
+    def _enact(self, state: EnactmentState) -> Optional[ScalingTrace]:
+        policy = state.options.get("termination", TerminationPolicy())
+        workforce = DynamicWorkforce(state, policy)
+        workforce.seed_roots()
+
+        def run_worker(index: int) -> None:
+            worker_id = f"dyn-{index}"
+            state.meter.activate(worker_id)
+            try:
+                workforce.worker_loop(worker_id, state.processes)
+            except BaseException as exc:  # noqa: BLE001 - worker boundary
+                state.record_error(exc)
+                workforce.broadcast_pills(state.processes)
+            finally:
+                state.meter.deactivate(worker_id)
+
+        threads = [
+            threading.Thread(target=run_worker, args=(i,), name=f"dyn-{i}", daemon=True)
+            for i in range(state.processes)
+        ]
+        for thread in threads:
+            thread.start()
+        timeout = state.options.get("join_timeout", 300.0)
+        for thread in threads:
+            thread.join(timeout=timeout)
+            if thread.is_alive():
+                state.record_error(
+                    TimeoutError(f"worker {thread.name} did not finish in {timeout}s")
+                )
+                break
+        return None

@@ -1,0 +1,295 @@
+"""Hybrid Redis mapping (``hybrid_redis``, Section 3.1.2).
+
+The mapping that reconciles dynamic scheduling with stateful applications:
+
+- **Stateful PE instances are pinned to dedicated processes** holding local
+  state and a *private queue* (a Redis list consumed with BLPOP), so
+  group-by and global groupings are honoured without any global state
+  synchronisation.
+- **Stateless PEs are scheduled dynamically** by the remaining
+  ``N - #stateful-instances`` processes through the same global Redis
+  stream as ``dyn_redis`` -- with the extra capability of "depositing their
+  outputs into private queues specifically designated for stateful tasks".
+
+Termination is staged: once the global task pool is drained, stateful PEs
+are closed in topological order (each instance flushes its aggregate in
+``postprocess``, whose emissions may create further downstream work that is
+drained before the next stage closes); finally the stateless workers are
+released with poison pills.
+
+The paper evaluates this mapping against ``multi`` on the Sentiment
+Analysis workflow (Figure 12, Table 3), where it reaches as low as 32% of
+the baseline runtime.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from repro.autoscale.trace import ScalingTrace
+from repro.core.concrete import ConcreteWorkflow, Delivery
+from repro.core.exceptions import InsufficientProcessesError, MappingError
+from repro.mappings.base import (
+    EnactmentState,
+    Mapping,
+    dispatch_emissions,
+    instantiate,
+)
+from repro.mappings.redis_tasks import PILL, RedisTaskBoard
+from repro.mappings.termination import TerminationPolicy
+from repro.redisim.client import RedisClient
+from repro.redisim.server import RedisServer
+
+
+class HybridRedisMapping(Mapping):
+    """Stateful-aware dynamic scheduling over Redis (``hybrid_redis``)."""
+
+    name = "hybrid_redis"
+    supports_stateful = True
+    requires_redis = True
+
+    def _enact(self, state: EnactmentState) -> Optional[ScalingTrace]:
+        graph = state.graph
+        policy: TerminationPolicy = state.options.get("termination", TerminationPolicy())
+        server: RedisServer = state.options.get("redis_server") or RedisServer()
+
+        def new_client() -> RedisClient:
+            return RedisClient(
+                server,
+                op_latency=state.platform.redis_latency,
+                clock=state.clock,
+            )
+
+        namespace = f"repro:{graph.name}"
+        board = RedisTaskBoard(new_client(), namespace=namespace)
+        board.setup()
+
+        # ---------------------------------------------------- allocation
+        stateful_names = {pe.name for pe in graph.stateful_pes()}
+        allocation: Dict[str, int] = {}
+        for name, pe in graph.pes.items():
+            if name in stateful_names:
+                allocation[name] = pe.numprocesses if pe.numprocesses else 1
+            else:
+                allocation[name] = 1
+        concrete = ConcreteWorkflow(graph, allocation)
+        n_stateful = sum(allocation[name] for name in stateful_names)
+        stateless_workers = state.processes - n_stateful
+        if stateless_workers < 1:
+            raise InsufficientProcessesError(
+                f"hybrid_redis needs at least {n_stateful + 1} processes for "
+                f"{graph.name!r} ({n_stateful} stateful instances + 1 stateless "
+                f"worker); got {state.processes}"
+            )
+        state.counters.inc("stateful_instances", n_stateful)
+        state.counters.inc("stateless_workers", stateless_workers)
+
+        def private_key(pe_name: str, index: int) -> str:
+            return f"{namespace}:private:{pe_name}:{index}"
+
+        abort = threading.Event()
+
+        # ------------------------------------------------------ dispatching
+        def queue_deliveries(pipe, deliveries: List[Delivery]) -> None:
+            """Append routed deliveries to a pipeline (one round trip).
+
+            Private queues bypass the global stream entirely; the shared
+            outstanding counter still covers them so the drain proof holds
+            across both planes.
+            """
+            for d in deliveries:
+                pipe.incr(board.counter_key)
+                if d.dst in stateful_names:
+                    pipe.rpush(private_key(d.dst, d.dst_index), ("data", d.dst_port, d.data))
+                    state.counters.inc("private_puts")
+                else:
+                    pipe.xadd(board.stream_key, {"task": (d.dst, d.dst_port, d.data)})
+
+        def route_and_dispatch(
+            pe_name: str, index: int, emissions: List[Tuple[str, object]], client: RedisClient
+        ) -> None:
+            pipe = client.pipeline()
+            queue_deliveries(
+                pipe, dispatch_emissions(concrete, state.collector, pe_name, index, emissions)
+            )
+            pipe.execute()
+
+        # ------------------------------------------------------ seed roots
+        seed_client = new_client()
+        rr_counter = 0
+        for root, items in state.provided.items():
+            for item in items:
+                if root in stateful_names:
+                    index = rr_counter % allocation[root]
+                    rr_counter += 1
+                    seed_client.incr(board.counter_key)
+                    seed_client.rpush(private_key(root, index), ("root", item, None))
+                else:
+                    board.put((root, None, item), client=seed_client)
+
+        # --------------------------------------------------- stateful plane
+        def stateful_worker(pe_name: str, index: int) -> None:
+            worker_id = f"stateful-{pe_name}.{index}"
+            state.meter.activate(worker_id)
+            client = new_client()
+            try:
+                instance = instantiate(graph.pe(pe_name), index, allocation[pe_name], state.ctx)
+                instance.preprocess()
+                key = private_key(pe_name, index)
+                timeout = max(0.005, state.clock.to_real(policy.poll_interval))
+                while not abort.is_set():
+                    hit = client.blpop(key, timeout=timeout)
+                    if hit is None:
+                        continue
+                    _key, message = hit
+                    kind = message[0]
+                    if kind == "close":
+                        break
+                    if kind == "root":
+                        emissions = instance._invoke(message[1])
+                    else:
+                        _kind, port, data = message
+                        emissions = instance._invoke({port: data})
+                    state.counters.inc("stateful_tasks")
+                    # One pipelined round trip: children + completion.
+                    pipe = client.pipeline()
+                    queue_deliveries(
+                        pipe,
+                        dispatch_emissions(
+                            concrete, state.collector, pe_name, index, emissions
+                        ),
+                    )
+                    pipe.decr(board.counter_key)
+                    pipe.execute()
+                # Flush the aggregate state (top-3 tables, per-state sums...)
+                route_and_dispatch(pe_name, index, instance._flush_postprocess(), client)
+            except BaseException as exc:  # noqa: BLE001 - worker boundary
+                state.record_error(exc)
+                abort.set()
+            finally:
+                state.meter.deactivate(worker_id)
+
+        # -------------------------------------------------- stateless plane
+        def stateless_worker(index: int) -> None:
+            worker_id = f"stateless-{index}"
+            consumer = f"consumer-{index}"
+            state.meter.activate(worker_id)
+            client = new_client()
+            try:
+                copies = {
+                    name: instantiate(pe, 0, 1, state.ctx)
+                    for name, pe in graph.pes.items()
+                    if name not in stateful_names
+                }
+                for pe in copies.values():
+                    pe.preprocess()
+                base_block = max(1, int(state.clock.to_real(policy.poll_interval) * 1000))
+                empty_streak = 0
+                while not abort.is_set():
+                    # Exponential poll backoff while starved, so idle workers
+                    # do not storm the server (and the GIL) at 1 kHz.
+                    block_ms = min(base_block * (1 << min(empty_streak, 6)), 64 * base_block)
+                    fetched = board.fetch(consumer, client, block_ms=block_ms)
+                    if not fetched:
+                        empty_streak += 1
+                        continue
+                    empty_streak = 0
+                    for entry_id, task in fetched:
+                        if task is PILL:
+                            board.ack(entry_id, client)
+                            return
+                        pe_name, port, payload = task
+                        inputs = payload if port is None else {port: payload}
+                        pipe = client.pipeline()
+                        try:
+                            emissions = copies[pe_name]._invoke(inputs)
+                            state.counters.inc("tasks")
+                            queue_deliveries(
+                                pipe,
+                                dispatch_emissions(
+                                    concrete, state.collector, pe_name, 0, emissions
+                                ),
+                            )
+                        finally:
+                            pipe.xack(board.stream_key, board.group, entry_id)
+                            pipe.decr(board.counter_key)
+                            pipe.execute()
+            except BaseException as exc:  # noqa: BLE001 - worker boundary
+                state.record_error(exc)
+                abort.set()
+            finally:
+                state.meter.deactivate(worker_id)
+
+        # ----------------------------------------------------- run the show
+        stateful_threads: Dict[str, List[threading.Thread]] = {}
+        for name in graph.topological_order():
+            if name not in stateful_names:
+                continue
+            threads = []
+            for idx in range(allocation[name]):
+                t = threading.Thread(
+                    target=stateful_worker,
+                    args=(name, idx),
+                    name=f"hybrid-stateful-{name}.{idx}",
+                    daemon=True,
+                )
+                threads.append(t)
+            stateful_threads[name] = threads
+        stateless_threads = [
+            threading.Thread(
+                target=stateless_worker,
+                args=(i,),
+                name=f"hybrid-stateless-{i}",
+                daemon=True,
+            )
+            for i in range(stateless_workers)
+        ]
+        for threads in stateful_threads.values():
+            for t in threads:
+                t.start()
+        for t in stateless_threads:
+            t.start()
+
+        join_timeout = state.options.get("join_timeout", 300.0)
+        coordinator_client = new_client()
+
+        def wait_drained() -> None:
+            deadline = state.clock.now() + join_timeout
+            while not board.is_drained(coordinator_client):
+                if abort.is_set():
+                    raise MappingError("hybrid run aborted by worker error")
+                if state.clock.now() > deadline:
+                    raise MappingError(
+                        f"hybrid run did not drain within {join_timeout}s "
+                        f"(outstanding={board.outstanding(coordinator_client)})"
+                    )
+                state.clock.sleep(policy.poll_interval)
+
+        try:
+            wait_drained()
+            # Staged close of the stateful plane in topological order: each
+            # stage's postprocess may feed later stages, so drain between.
+            for name in graph.topological_order():
+                if name not in stateful_names:
+                    continue
+                for idx in range(allocation[name]):
+                    coordinator_client.rpush(private_key(name, idx), ("close",))
+                for t in stateful_threads[name]:
+                    t.join(timeout=join_timeout)
+                    if t.is_alive():
+                        raise MappingError(f"stateful worker {t.name} hung at close")
+                wait_drained()
+        except MappingError as exc:
+            state.record_error(exc)
+            abort.set()
+        finally:
+            board.put_pills(len(stateless_threads))
+            for t in stateless_threads:
+                t.join(timeout=join_timeout)
+                if t.is_alive():
+                    state.record_error(TimeoutError(f"worker {t.name} hung at exit"))
+                    abort.set()
+                    break
+            board.teardown()
+        return None

@@ -1,0 +1,109 @@
+"""Auto-scaling dynamic Redis mapping (``dyn_auto_redis``).
+
+Algorithm 1 on top of :class:`~repro.mappings.redis_dynamic.RedisWorkforce`,
+with the idle-time monitoring strategy of Section 3.2.2: the auto-scaler
+watches the Redis consumer group's **average idle time** over the consumers
+that are currently in active sessions.  Idle time above the threshold (set
+to the reactivation/redeployment cost of the platform) means capacity is
+starved of work and a process is logically deactivated; low idle time means
+the group is saturated and a process is activated.  Figures 13b/13e plot
+the resulting inverse relationship.
+
+Options
+-------
+``termination``:
+    :class:`~repro.mappings.termination.TerminationPolicy`.
+``idle_threshold_ms``:
+    Idle-time threshold in *real* milliseconds (default: 4x the scaled
+    poll interval, a reasonable stand-in for redeployment cost).
+``initial_active`` / ``scale_interval`` / ``session_chunk`` / ``strategy``:
+    As in :class:`~repro.mappings.dyn_auto.DynAutoMultiMapping`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional, Set
+
+from repro.autoscale.autoscaler import Autoscaler
+from repro.autoscale.strategies import IdleTimeStrategy
+from repro.autoscale.trace import ScalingTrace
+from repro.mappings.base import EnactmentState, Mapping
+from repro.mappings.redis_dynamic import RedisWorkforce
+from repro.mappings.termination import TerminationPolicy
+from repro.runtime.workers import WorkerPool
+
+
+class DynAutoRedisMapping(Mapping):
+    """Dynamic Redis scheduling + Algorithm 1 auto-scaler (idle-time strategy)."""
+
+    name = "dyn_auto_redis"
+    supports_stateful = False
+    requires_redis = True
+
+    def _enact(self, state: EnactmentState) -> Optional[ScalingTrace]:
+        policy = state.options.get("termination", TerminationPolicy())
+        workforce = RedisWorkforce(state, policy)
+        workforce.seed_roots()
+
+        pool = WorkerPool(state.processes, name=f"autoredis-{state.graph.name}")
+        default_threshold = (
+            4.0 * state.clock.to_real(policy.poll_interval) * 1000.0
+        )
+        strategy = state.options.get(
+            "strategy",
+            IdleTimeStrategy(
+                threshold_ms=state.options.get("idle_threshold_ms", default_threshold)
+            ),
+        )
+        trace = ScalingTrace(strategy.metric_name)
+
+        active_consumers: Set[str] = set()
+        active_lock = threading.Lock()
+
+        def monitor() -> float:
+            with active_lock:
+                consumers = set(active_consumers)
+            if not consumers:
+                # No active sessions: report the threshold itself so the
+                # strategy holds rather than oscillating on no signal.
+                return getattr(strategy, "threshold_ms", 0.0)
+            return workforce.board.avg_idle_ms(consumers)
+
+        scaler = Autoscaler(
+            pool,
+            strategy,
+            monitor=monitor,
+            clock=state.clock,
+            initial_active=state.options.get("initial_active"),
+            scale_interval=state.options.get("scale_interval", 0.01),
+            trace=trace,
+        )
+        session_chunk = state.options.get("session_chunk", 8)
+
+        def session() -> int:
+            worker_id = threading.current_thread().name
+            consumer = f"consumer-{worker_id}"
+            with active_lock:
+                active_consumers.add(consumer)
+            with state.meter.active(worker_id):
+                try:
+                    return workforce.drain_session(worker_id, consumer, session_chunk)
+                except BaseException as exc:  # noqa: BLE001 - worker boundary
+                    state.record_error(exc)
+                    return 0
+                finally:
+                    with active_lock:
+                        active_consumers.discard(consumer)
+
+        try:
+            scaler.process(session, workforce.is_terminated)
+        finally:
+            pool.close()
+            pool.join(timeout=state.options.get("join_timeout", 300.0))
+        for exc in pool.errors:
+            state.record_error(exc)
+        workforce.teardown()
+        state.counters.inc("scale_iterations", len(trace))
+        state.counters.inc("max_active", trace.max_active())
+        return trace

@@ -1,0 +1,201 @@
+"""Dynamic Redis mapping (``dyn_redis``, Section 3.1.1).
+
+"The multiprocessing queue is replaced with the powerful Redis stream":
+identical scheduling structure to :mod:`repro.mappings.dynamic`, but the
+global queue is a Redis Stream consumed through a consumer group, tasks are
+acknowledged with XACK, and the outstanding counter lives in a Redis
+string.  Each worker owns its own client connection; the per-command
+latency of the platform profile models the client/server round trip that
+makes Redis mappings heavier than their multiprocessing twins
+(Section 5.6).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+from repro.autoscale.trace import ScalingTrace
+from repro.core.concrete import ConcreteWorkflow
+from repro.core.pe import GenericPE
+from repro.mappings.base import (
+    EnactmentState,
+    Mapping,
+    dispatch_emissions,
+    instantiate,
+)
+from repro.mappings.redis_tasks import PILL, RedisTaskBoard
+from repro.mappings.termination import TerminationPolicy
+from repro.redisim.client import RedisClient
+from repro.redisim.server import RedisServer
+
+
+class RedisWorkforce:
+    """Shared mechanics of the Redis-backed dynamic mappings."""
+
+    def __init__(self, state: EnactmentState, policy: TerminationPolicy) -> None:
+        self.state = state
+        self.policy = policy
+        self.server: RedisServer = state.options.get("redis_server") or RedisServer()
+        self.board = RedisTaskBoard(
+            self._new_client(), namespace=f"repro:{state.graph.name}"
+        )
+        self.board.setup()
+        self.concrete = ConcreteWorkflow.single_instance(state.graph)
+        self._copies: Dict[str, Dict[str, GenericPE]] = {}
+        self._copies_lock = threading.Lock()
+        self._pills_sent = threading.Event()
+
+    def _new_client(self) -> RedisClient:
+        return RedisClient(
+            self.server,
+            op_latency=self.state.platform.redis_latency,
+            clock=self.state.clock,
+        )
+
+    def client_for_worker(self) -> RedisClient:
+        return self._new_client()
+
+    def seed_roots(self) -> None:
+        for root, items in self.state.provided.items():
+            for item in items:
+                self.board.put((root, None, item))
+        self.state.counters.inc("seed_tasks", self.board.outstanding())
+
+    def graph_copy(self, worker_key: str) -> Dict[str, GenericPE]:
+        with self._copies_lock:
+            copies = self._copies.get(worker_key)
+        if copies is None:
+            copies = {
+                name: instantiate(pe, 0, 1, self.state.ctx)
+                for name, pe in self.state.graph.pes.items()
+            }
+            for pe in copies.values():
+                pe.preprocess()
+            with self._copies_lock:
+                self._copies[worker_key] = copies
+            self.state.counters.inc("graph_copies")
+        return copies
+
+    def process_task(
+        self,
+        copies: Dict[str, GenericPE],
+        entry_id: str,
+        task: tuple,
+        client: RedisClient,
+    ) -> None:
+        pe_name, port, payload = task
+        inputs = payload if port is None else {port: payload}
+        children = []
+        try:
+            emissions = copies[pe_name]._invoke(inputs)
+            self.state.counters.inc("tasks")
+            children = [
+                (d.dst, d.dst_port, d.data)
+                for d in dispatch_emissions(
+                    self.concrete, self.state.collector, pe_name, 0, emissions
+                )
+            ]
+        finally:
+            # One pipelined round trip: publish children, ack, complete.
+            self.board.finish(entry_id, children, client)
+
+    def is_terminated(self) -> bool:
+        if self.policy.unsafe_empty_check:
+            return self.board.backlog() == 0
+        return self.board.is_drained()
+
+    def broadcast_pills(self, count: int) -> None:
+        if not self._pills_sent.is_set():
+            self._pills_sent.set()
+            self.board.put_pills(count)
+            self.state.counters.inc("pills", count)
+
+    def worker_loop(self, worker_key: str, consumer: str, total_workers: int) -> None:
+        """Dedicated-worker loop (dyn_redis): run until termination."""
+        copies = self.graph_copy(worker_key)
+        client = self.client_for_worker()
+        base_block = max(1, int(self.state.clock.to_real(self.policy.poll_interval) * 1000))
+        empty_streak = 0
+        while True:
+            # Exponential backoff while starved: idle consumers polling at
+            # 1 kHz would contend on the server lock and the GIL.
+            block_ms = min(base_block * (1 << min(empty_streak, 5)), 32 * base_block)
+            fetched = self.board.fetch(consumer, client, block_ms=block_ms)
+            if not fetched:
+                empty_streak += 1
+                self.state.counters.inc("empty_polls")
+                if empty_streak >= self.policy.empty_retries and self.is_terminated():
+                    self.broadcast_pills(total_workers)
+                    return
+                continue
+            empty_streak = 0
+            for entry_id, task in fetched:
+                if task is PILL:
+                    self.board.ack(entry_id, client)
+                    return
+                self.process_task(copies, entry_id, task, client)
+
+    def drain_session(self, worker_key: str, consumer: str, chunk: int) -> int:
+        """Auto-scaled session: process up to ``chunk`` tasks, stop on empty."""
+        copies = self.graph_copy(worker_key)
+        client = self.client_for_worker()
+        block_ms = max(1, int(self.state.clock.to_real(self.policy.poll_interval) * 1000))
+        processed = 0
+        while processed < chunk:
+            fetched = self.board.fetch(consumer, client, block_ms=block_ms)
+            if not fetched:
+                break
+            for entry_id, task in fetched:
+                if task is PILL:
+                    self.board.ack(entry_id, client)
+                    return processed
+                self.process_task(copies, entry_id, task, client)
+                processed += 1
+        return processed
+
+    def teardown(self) -> None:
+        self.board.teardown()
+
+
+class DynRedisMapping(Mapping):
+    """Dynamic scheduling over a Redis Stream consumer group (``dyn_redis``)."""
+
+    name = "dyn_redis"
+    supports_stateful = False
+    requires_redis = True
+
+    def _enact(self, state: EnactmentState) -> Optional[ScalingTrace]:
+        policy = state.options.get("termination", TerminationPolicy())
+        workforce = RedisWorkforce(state, policy)
+        workforce.seed_roots()
+
+        def run_worker(index: int) -> None:
+            worker_id = f"dynredis-{index}"
+            state.meter.activate(worker_id)
+            try:
+                workforce.worker_loop(worker_id, f"consumer-{index}", state.processes)
+            except BaseException as exc:  # noqa: BLE001 - worker boundary
+                state.record_error(exc)
+                workforce.broadcast_pills(state.processes)
+            finally:
+                state.meter.deactivate(worker_id)
+
+        threads = [
+            threading.Thread(
+                target=run_worker, args=(i,), name=f"dynredis-{i}", daemon=True
+            )
+            for i in range(state.processes)
+        ]
+        for thread in threads:
+            thread.start()
+        timeout = state.options.get("join_timeout", 300.0)
+        for thread in threads:
+            thread.join(timeout=timeout)
+            if thread.is_alive():
+                state.record_error(
+                    TimeoutError(f"worker {thread.name} did not finish in {timeout}s")
+                )
+                break
+        workforce.teardown()
+        return None

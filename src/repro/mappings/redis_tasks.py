@@ -1,0 +1,172 @@
+"""Redis-backed global task board shared by the Redis mappings.
+
+Replaces the multiprocessing global queue of Figure 2 with a **Redis
+Stream** consumed through a consumer group (Section 3.1.1): producers
+``XADD`` tasks, workers ``XREADGROUP`` with the ``>`` cursor (cooperative
+consumption, at-least-once), and ``XACK`` on completion.  A Redis string
+counter tracks *outstanding* work for the safe termination condition, and
+``XINFO CONSUMERS`` provides the per-consumer idle times the
+``dyn_auto_redis`` strategy monitors.
+
+Poison pills are stream entries with a ``pill`` field; they carry no
+outstanding-count so they never interfere with the drain proof.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Tuple
+
+from repro.redisim.client import RedisClient
+
+#: Sentinel returned by :meth:`RedisTaskBoard.fetch` for pill entries.
+PILL = "__pill__"
+
+
+class RedisTaskBoard:
+    """Global task stream + outstanding counter on one Redis deployment.
+
+    Parameters
+    ----------
+    client:
+        Redis connection of the coordinating thread.  Workers should use
+        their own clients (one "connection" each) created from the same
+        server, passing them to the per-call methods.
+    namespace:
+        Key prefix isolating this run from others on the shared server.
+    group:
+        Consumer group name.
+    """
+
+    def __init__(
+        self, client: RedisClient, namespace: str = "repro", group: str = "workers"
+    ) -> None:
+        self.client = client
+        self.namespace = namespace
+        self.group = group
+        self.stream_key = f"{namespace}:tasks"
+        self.counter_key = f"{namespace}:outstanding"
+
+    # ------------------------------------------------------------ lifecycle
+    def setup(self) -> None:
+        """Create the stream + group and zero the outstanding counter."""
+        self.client.delete(self.stream_key, self.counter_key)
+        self.client.xgroup_create(self.stream_key, self.group, id="0", mkstream=True)
+        self.client.set(self.counter_key, 0)
+
+    def teardown(self) -> None:
+        self.client.delete(self.stream_key, self.counter_key)
+
+    # ------------------------------------------------------------- producer
+    def put(self, task: Any, client: Optional[RedisClient] = None) -> str:
+        """Enqueue one task (increments outstanding *before* publishing)."""
+        c = client if client is not None else self.client
+        c.incr(self.counter_key)
+        return c.xadd(self.stream_key, {"task": task})
+
+    def put_pills(self, count: int, client: Optional[RedisClient] = None) -> None:
+        c = client if client is not None else self.client
+        for _ in range(count):
+            c.xadd(self.stream_key, {"pill": 1})
+
+    # ------------------------------------------------------------- consumer
+    def fetch(
+        self,
+        consumer: str,
+        client: RedisClient,
+        block_ms: Optional[int] = None,
+        count: int = 1,
+    ) -> List[Tuple[str, Any]]:
+        """Read new entries for ``consumer``; pills come back as ``PILL``."""
+        reply = client.xreadgroup(
+            self.group,
+            consumer,
+            {self.stream_key: ">"},
+            count=count,
+            block=block_ms,
+        )
+        tasks: List[Tuple[str, Any]] = []
+        for _key, entries in reply:
+            for entry_id, fields in entries:
+                if "pill" in fields:
+                    tasks.append((entry_id, PILL))
+                else:
+                    tasks.append((entry_id, fields["task"]))
+        return tasks
+
+    def ack(self, entry_id: str, client: RedisClient) -> None:
+        client.xack(self.stream_key, self.group, entry_id)
+
+    def complete(self, client: RedisClient) -> None:
+        """Declare one fetched task fully processed (children already put)."""
+        client.decr(self.counter_key)
+
+    def finish(self, entry_id: str, children: List[Any], client: RedisClient) -> None:
+        """Publish children + XACK + complete in one pipelined round trip.
+
+        The per-task hot path: doing these as individual commands costs one
+        client/server round trip (and one server-lock acquisition) each,
+        which under many workers dominates fine-grained task streams; a
+        real deployment pipelines them for exactly the same reason.
+        """
+        pipe = client.pipeline()
+        for task in children:
+            pipe.incr(self.counter_key)
+            pipe.xadd(self.stream_key, {"task": task})
+        pipe.xack(self.stream_key, self.group, entry_id)
+        pipe.decr(self.counter_key)
+        pipe.execute()
+
+    # ------------------------------------------------------------ monitoring
+    def outstanding(self, client: Optional[RedisClient] = None) -> int:
+        c = client if client is not None else self.client
+        value = c.get(self.counter_key)
+        return 0 if value is None else int(value)
+
+    def is_drained(self, client: Optional[RedisClient] = None) -> bool:
+        return self.outstanding(client) == 0
+
+    def backlog(self, client: Optional[RedisClient] = None) -> int:
+        """Entries not yet delivered to the group (the group's lag)."""
+        c = client if client is not None else self.client
+        for info in c.xinfo_groups(self.stream_key):
+            if info["name"] == self.group:
+                return int(info["lag"])
+        return 0
+
+    def avg_idle_ms(
+        self,
+        consumers: Optional[Iterable[str]] = None,
+        client: Optional[RedisClient] = None,
+    ) -> float:
+        """Average idle time (ms) of the given consumers (default: all)."""
+        c = client if client is not None else self.client
+        rows = c.xinfo_consumers(self.stream_key, self.group)
+        if consumers is not None:
+            wanted = set(consumers)
+            rows = [row for row in rows if row["name"] in wanted]
+        if not rows:
+            return 0.0
+        return float(sum(row["idle"] for row in rows) / len(rows))
+
+    # -------------------------------------------------------------- recovery
+    def recover_stale(
+        self, consumer: str, client: RedisClient, min_idle_ms: float
+    ) -> List[Tuple[str, Any]]:
+        """Claim tasks stuck with dead consumers (XAUTOCLAIM recovery).
+
+        The at-least-once safety net: if a worker crashes after fetching
+        but before acking, its entries stay in the PEL and any peer can
+        adopt them once they are idle enough.
+        """
+        _cursor, entries = client.xautoclaim(
+            self.stream_key, self.group, consumer, min_idle_ms
+        )
+        recovered: List[Tuple[str, Any]] = []
+        for entry_id, fields in entries:
+            if "pill" in fields:
+                # Pills are immediately re-acked; they were for the dead
+                # consumer and termination broadcasting re-sends as needed.
+                client.xack(self.stream_key, self.group, entry_id)
+                continue
+            recovered.append((entry_id, fields["task"]))
+        return recovered

@@ -1,0 +1,55 @@
+"""Termination strategies for dynamic scheduling (Section 3.2.3).
+
+Static mappings terminate with counted *poison pills*: a finishing upstream
+instance signals end-of-stream to every downstream instance, which closes a
+port once it has received one pill per producer.  That breaks under dynamic
+scheduling, where "task processing order is not reserved" -- a pill can
+overtake live tasks in the global queue.
+
+The paper's dynamic strategy combines an emptiness check with a *retry*
+mechanism: a worker observing an empty queue waits a configurable threshold,
+retries a bounded number of times, and only then decides to terminate --
+broadcasting poison pills to accelerate the other workers' exit.
+
+The paper concedes the emptiness check "is not foolproof and could lead to
+unexpected exits in some extreme cases": a worker may be about to enqueue
+children when its peers see an empty queue.  Our queues therefore also track
+*outstanding* work (tasks put but not yet fully processed), and the default
+policy only allows a termination decision once the queue is provably
+drained.  Setting :attr:`TerminationPolicy.unsafe_empty_check` reproduces
+the paper's raw behaviour for the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TerminationPolicy:
+    """Tuning of the dynamic termination protocol.
+
+    Attributes
+    ----------
+    poll_interval:
+        Nominal seconds a worker blocks on the queue per fetch attempt (the
+        paper's "configurable threshold duration").
+    empty_retries:
+        Number of consecutive empty fetches before a worker evaluates the
+        termination condition (the paper's "retry a specified number of
+        times").
+    unsafe_empty_check:
+        If True, the termination condition is plain queue emptiness (the
+        paper's native dynamic check).  If False (default), the condition is
+        the drained-proof ``outstanding == 0``.
+    """
+
+    poll_interval: float = 0.02
+    empty_retries: int = 3
+    unsafe_empty_check: bool = False
+
+    def __post_init__(self) -> None:
+        if self.poll_interval <= 0:
+            raise ValueError("poll_interval must be positive")
+        if self.empty_retries < 1:
+            raise ValueError("empty_retries must be >= 1")

@@ -1,0 +1,27 @@
+"""Measurement, ratio analysis and reporting (Section 5.1.2 of the paper).
+
+Two headline metrics:
+
+- **runtime** -- real-world execution time of a run, and
+- **total process time** -- the sum of all active process durations,
+  the paper's efficiency metric.
+
+:mod:`repro.metrics.ratios` turns grids of :class:`RunResult` into the
+ratio summaries of Tables 1-3 (runtime ratio, process-time ratio,
+prioritized rows, mean/std); :mod:`repro.metrics.tables` renders them as
+the ASCII rows/series the benchmark harness prints.
+"""
+
+from repro.metrics.result import RunResult
+from repro.metrics.ratios import RatioRow, RatioSummary, summarize_ratios
+from repro.metrics.tables import render_ratio_table, render_series, render_table
+
+__all__ = [
+    "RatioRow",
+    "RatioSummary",
+    "RunResult",
+    "render_ratio_table",
+    "render_series",
+    "render_table",
+    "summarize_ratios",
+]

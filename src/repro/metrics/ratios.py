@@ -1,0 +1,123 @@
+"""Ratio summaries: the computation behind Tables 1, 2 and 3.
+
+The paper compares a proposed technique A against a baseline B by the
+point-wise ratios ``runtime_A(p) / runtime_B(p)`` and
+``process_time_A(p) / process_time_B(p)`` over the shared process counts
+``p``, and reports three rows per (platform, A/B) pair:
+
+- *prioritized by runtime*: the ratios at the process count where the
+  runtime ratio is best (smallest),
+- *prioritized by process time*: the ratios at the process count where the
+  process-time ratio is best,
+- *[Mean, Std]*: mean and standard deviation of each ratio across all
+  process counts.
+
+"To maintain consistency, we only include our proposed optimizations in
+the numerator" -- callers pass A = proposed, B = baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+import numpy as np
+
+from repro.metrics.result import RunResult
+
+
+@dataclass(frozen=True)
+class RatioRow:
+    """Ratios at one process count."""
+
+    processes: int
+    runtime_ratio: float
+    process_time_ratio: float
+
+
+@dataclass(frozen=True)
+class RatioSummary:
+    """One comparison block of a ratio table (one A/B pair on one platform)."""
+
+    numerator: str
+    denominator: str
+    rows: Tuple[RatioRow, ...]
+
+    @property
+    def by_runtime(self) -> RatioRow:
+        """The row at the process count with the best (lowest) runtime ratio."""
+        return min(self.rows, key=lambda r: r.runtime_ratio)
+
+    @property
+    def by_process_time(self) -> RatioRow:
+        """The row at the process count with the best process-time ratio."""
+        return min(self.rows, key=lambda r: r.process_time_ratio)
+
+    @property
+    def runtime_mean_std(self) -> Tuple[float, float]:
+        values = np.array([r.runtime_ratio for r in self.rows], dtype=float)
+        return float(values.mean()), float(values.std())
+
+    @property
+    def process_time_mean_std(self) -> Tuple[float, float]:
+        values = np.array([r.process_time_ratio for r in self.rows], dtype=float)
+        return float(values.mean()), float(values.std())
+
+
+ResultGrid = Mapping[Tuple[str, int], RunResult]
+"""Runs keyed by (mapping name, process count)."""
+
+
+def summarize_ratios(
+    grid: ResultGrid,
+    numerator: str,
+    denominator: str,
+    processes: Iterable[int] | None = None,
+) -> RatioSummary:
+    """Build the Table 1-3 summary for one A/B comparison.
+
+    Parameters
+    ----------
+    grid:
+        Results keyed by ``(mapping, processes)``; must contain both
+        mappings at every compared process count.
+    numerator / denominator:
+        Mapping names (A = proposed technique, B = baseline).
+    processes:
+        Process counts to compare; defaults to all counts present for both
+        mappings (ascending).
+    """
+    if processes is None:
+        num_procs = {p for (m, p) in grid if m == numerator}
+        den_procs = {p for (m, p) in grid if m == denominator}
+        processes = sorted(num_procs & den_procs)
+    processes = list(processes)
+    if not processes:
+        raise ValueError(
+            f"no shared process counts between {numerator!r} and {denominator!r}"
+        )
+    rows: List[RatioRow] = []
+    for p in processes:
+        try:
+            a = grid[(numerator, p)]
+            b = grid[(denominator, p)]
+        except KeyError as exc:
+            raise KeyError(f"missing run for {exc.args[0]!r}") from None
+        if b.runtime <= 0 or b.process_time <= 0:
+            raise ValueError(f"degenerate baseline measurement at p={p}")
+        rows.append(
+            RatioRow(
+                processes=p,
+                runtime_ratio=a.runtime / b.runtime,
+                process_time_ratio=a.process_time / b.process_time,
+            )
+        )
+    return RatioSummary(numerator=numerator, denominator=denominator, rows=tuple(rows))
+
+
+def grid_from_results(results: Iterable[RunResult]) -> Dict[Tuple[str, int], RunResult]:
+    """Index a flat result list into a :data:`ResultGrid`."""
+    grid: Dict[Tuple[str, int], RunResult] = {}
+    for result in results:
+        grid[(result.mapping, result.processes)] = result
+    return grid

@@ -1,0 +1,69 @@
+"""Run results: everything a single enactment reports back."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.autoscale.trace import ScalingTrace
+
+
+@dataclass
+class RunResult:
+    """Outcome of enacting one workflow with one mapping.
+
+    Attributes
+    ----------
+    mapping / workflow / processes:
+        Run identity (what Tables 1-3 group by).
+    runtime:
+        Wall-clock duration of the run in real seconds.
+    process_time:
+        Total active process time in real seconds (Section 5.1.2): the sum
+        over workers of the time they spent in the *active* state.  Static
+        mappings keep every process active for the whole run; auto-scaling
+        mappings only accumulate during active sessions.
+    outputs:
+        Data units emitted on unconnected output ports, keyed by
+        ``"<pe>.<port>"``.  Order across parallel workers is
+        non-deterministic; tests sort before comparing.
+    counters:
+        Engine counters (tasks processed, queue/redis operations, pills,
+        retries...) for white-box assertions and benchmark reporting.
+    trace:
+        Auto-scaler trace for the auto-scaling mappings (Figure 13).
+    per_worker_time:
+        Active time per worker id, summing to ``process_time``.
+    """
+
+    mapping: str
+    workflow: str
+    processes: int
+    runtime: float
+    process_time: float
+    outputs: Dict[str, List[Any]] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+    trace: Optional[ScalingTrace] = None
+    per_worker_time: Dict[str, float] = field(default_factory=dict)
+
+    def output(self, pe_name: str, port: str = "output") -> List[Any]:
+        """Convenience accessor for one sink port's collected data units."""
+        return self.outputs.get(f"{pe_name}.{port}", [])
+
+    def total_outputs(self) -> int:
+        return sum(len(v) for v in self.outputs.values())
+
+    def efficiency(self) -> float:
+        """Process time per second of runtime (lower is more efficient)."""
+        if self.runtime <= 0:
+            return 0.0
+        return self.process_time / self.runtime
+
+    def as_row(self) -> Tuple[str, int, float, float]:
+        return (self.mapping, self.processes, self.runtime, self.process_time)
+
+    def __repr__(self) -> str:
+        return (
+            f"RunResult({self.mapping}, {self.workflow}, p={self.processes}, "
+            f"runtime={self.runtime:.3f}s, process_time={self.process_time:.3f}s)"
+        )

@@ -1,0 +1,5 @@
+"""Platform profiles for the paper's three testbeds."""
+
+from repro.platforms.profiles import CLOUD, HPC, LAPTOP, SERVER, PlatformProfile, get_platform
+
+__all__ = ["CLOUD", "HPC", "LAPTOP", "SERVER", "PlatformProfile", "get_platform"]

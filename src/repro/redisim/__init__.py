@@ -1,0 +1,47 @@
+"""In-process Redis substrate.
+
+The paper's Redis mappings (Section 3.1) are built on a Redis 5.0 server:
+the global task queue becomes a **Redis Stream** consumed through a
+**consumer group**, private queues of stateful workers are Redis lists, and
+the ``dyn_auto_redis`` auto-scaling strategy monitors the consumer group's
+average idle time (Section 3.2.2).
+
+No Redis server is available in this environment, so this package implements
+the command subset those mappings exercise, from scratch, as a thread-safe
+in-process data-structure server:
+
+- strings (GET/SET/INCRBY/DECRBY) -- used for shared counters,
+- lists (LPUSH/RPUSH/LPOP/RPOP/BLPOP/LLEN/LRANGE) -- private queues,
+- hashes and sets -- bookkeeping,
+- streams (XADD/XLEN/XRANGE/XREAD/XTRIM) with **consumer groups**
+  (XGROUP CREATE, XREADGROUP, XACK, XPENDING, XCLAIM, XAUTOCLAIM,
+  XINFO STREAM/GROUPS/CONSUMERS) including pending-entry lists, delivery
+  counters and per-consumer idle times.
+
+Semantics follow the Redis documentation closely enough that the mappings
+could be pointed at a real server by swapping :class:`RedisClient` for
+``redis.Redis`` (method names and signatures mirror redis-py).  See
+DESIGN.md's substitution table for the fidelity argument.
+"""
+
+from repro.redisim.client import RedisClient
+from repro.redisim.errors import (
+    BusyGroupError,
+    NoGroupError,
+    RedisError,
+    StreamIDError,
+    WrongTypeError,
+)
+from repro.redisim.server import RedisServer
+from repro.redisim.streams import StreamID
+
+__all__ = [
+    "BusyGroupError",
+    "NoGroupError",
+    "RedisClient",
+    "RedisError",
+    "RedisServer",
+    "StreamID",
+    "StreamIDError",
+    "WrongTypeError",
+]

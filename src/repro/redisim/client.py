@@ -1,0 +1,422 @@
+"""Client facade over :class:`repro.redisim.server.RedisServer`.
+
+The client exists for three reasons:
+
+1. **API fidelity** -- method names and signatures mirror redis-py, so the
+   mappings read exactly like code written against a real Redis server and
+   could be pointed at one by swapping this class out.
+2. **Marshalling realism** -- a real Redis client pickles/encodes payloads and
+   ships them over a socket.  We keep the pickle round-trip for task payloads
+   (stream fields and list values), which both models the serialization cost
+   and guarantees producer/consumer isolation: a consumer can never observe
+   mutations the producer makes after sending (the same guarantee processes
+   get for free).
+3. **Latency injection** -- ``op_latency`` adds a configurable nominal
+   round-trip delay per command.  This is the knob that reproduces the
+   paper's consistent observation that the Redis mappings are somewhat
+   slower than their Multiprocessing counterparts (Section 5.6).
+
+Each client instance tracks how many commands it issued (``ops``) so
+benchmarks can report communication volume.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.redisim.server import RedisServer
+from repro.runtime.clock import Clock
+
+
+def _dumps(value: Any) -> bytes:
+    return pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def _loads(value: Any) -> Any:
+    if isinstance(value, bytes):
+        return pickle.loads(value)
+    return value
+
+
+class Pipeline:
+    """Batched command execution: one round trip, one lock acquisition.
+
+    Mirrors redis-py's pipeline: queue commands, then :meth:`execute`.
+    Payload values are encoded at queue time (as a real client would
+    serialize into its output buffer); the single latency charge models the
+    one round trip that makes pipelining worthwhile on a real deployment.
+    """
+
+    def __init__(self, client: "RedisClient") -> None:
+        self._client = client
+        self._commands: List[tuple] = []
+
+    def __len__(self) -> int:
+        return len(self._commands)
+
+    def _queue(self, name: str, *args: Any, **kwargs: Any) -> "Pipeline":
+        self._commands.append((name, args, kwargs))
+        return self
+
+    def set(self, key: str, value: Any) -> "Pipeline":
+        return self._queue("set", key, value)
+
+    def incrby(self, key: str, amount: int = 1) -> "Pipeline":
+        return self._queue("incrby", key, amount)
+
+    incr = incrby
+
+    def decrby(self, key: str, amount: int = 1) -> "Pipeline":
+        return self._queue("decrby", key, amount)
+
+    decr = decrby
+
+    def rpush(self, key: str, *values: Any) -> "Pipeline":
+        encoded = tuple(self._client._enc(v) for v in values)
+        return self._queue("rpush", key, *encoded)
+
+    def lpush(self, key: str, *values: Any) -> "Pipeline":
+        encoded = tuple(self._client._enc(v) for v in values)
+        return self._queue("lpush", key, *encoded)
+
+    def xadd(self, key: str, fields: Mapping[str, Any], id: str = "*") -> "Pipeline":  # noqa: A002
+        return self._queue("xadd", key, self._client._enc_fields(fields), entry_id=id)
+
+    def xack(self, key: str, group: str, *entry_ids: str) -> "Pipeline":
+        return self._queue("xack", key, group, *entry_ids)
+
+    def delete(self, *keys: str) -> "Pipeline":
+        return self._queue("delete", *keys)
+
+    def execute(self) -> List[Any]:
+        """Run the batch; clears the pipeline and returns per-command results."""
+        if not self._commands:
+            return []
+        self._client._charge()
+        commands, self._commands = self._commands, []
+        return self._client._server.transaction(commands)
+
+
+class RedisClient:
+    """A connection-like handle to an in-process :class:`RedisServer`.
+
+    Parameters
+    ----------
+    server:
+        Shared server instance (one per "deployment").
+    op_latency:
+        Nominal seconds of round-trip latency charged per command; scaled by
+        ``clock``.  ``0`` disables latency injection.
+    clock:
+        Clock used to charge latency.  Required when ``op_latency > 0``.
+    serialize:
+        Pickle payload values (stream fields / list items).  Leave enabled
+        for realistic isolation; disable only in micro-benchmarks that want
+        to measure raw data-structure cost.
+    """
+
+    def __init__(
+        self,
+        server: RedisServer,
+        op_latency: float = 0.0,
+        clock: Optional[Clock] = None,
+        serialize: bool = True,
+    ) -> None:
+        if op_latency < 0:
+            raise ValueError("op_latency must be >= 0")
+        if op_latency > 0 and clock is None:
+            raise ValueError("a clock is required when op_latency > 0")
+        self._server = server
+        self._latency = op_latency
+        self._clock = clock
+        self._serialize = serialize
+        self.ops = 0
+
+    # ------------------------------------------------------------------ util
+    def _charge(self) -> None:
+        self.ops += 1
+        if self._latency > 0 and self._clock is not None:
+            self._clock.sleep(self._latency)
+
+    def _enc(self, value: Any) -> Any:
+        return _dumps(value) if self._serialize else value
+
+    def _dec(self, value: Any) -> Any:
+        return _loads(value) if self._serialize else value
+
+    def _enc_fields(self, fields: Mapping[str, Any]) -> Dict[str, Any]:
+        return {name: self._enc(value) for name, value in fields.items()}
+
+    def _dec_fields(self, fields: Mapping[str, Any]) -> Dict[str, Any]:
+        return {name: self._dec(value) for name, value in fields.items()}
+
+    def _dec_entries(
+        self, entries: List[Tuple[str, Dict[str, Any]]]
+    ) -> List[Tuple[str, Dict[str, Any]]]:
+        return [(eid, self._dec_fields(fields)) for eid, fields in entries]
+
+    def pipeline(self) -> Pipeline:
+        """Start a command batch (single round trip on execute)."""
+        return Pipeline(self)
+
+    # --------------------------------------------------------------- generic
+    def flushall(self) -> None:
+        self._charge()
+        self._server.flushall()
+
+    def dbsize(self) -> int:
+        self._charge()
+        return self._server.dbsize()
+
+    def keys(self, pattern: str = "*") -> List[str]:
+        self._charge()
+        return self._server.keys(pattern)
+
+    def type(self, key: str) -> str:
+        self._charge()
+        return self._server.type(key)
+
+    def delete(self, *keys: str) -> int:
+        self._charge()
+        return self._server.delete(*keys)
+
+    def exists(self, *keys: str) -> int:
+        self._charge()
+        return self._server.exists(*keys)
+
+    # --------------------------------------------------------------- strings
+    def set(self, key: str, value: Any) -> bool:
+        self._charge()
+        return self._server.set(key, value)
+
+    def get(self, key: str) -> Any:
+        self._charge()
+        return self._server.get(key)
+
+    def incrby(self, key: str, amount: int = 1) -> int:
+        self._charge()
+        return self._server.incrby(key, amount)
+
+    incr = incrby
+
+    def decrby(self, key: str, amount: int = 1) -> int:
+        self._charge()
+        return self._server.decrby(key, amount)
+
+    decr = decrby
+
+    # ----------------------------------------------------------------- lists
+    def lpush(self, key: str, *values: Any) -> int:
+        self._charge()
+        return self._server.lpush(key, *(self._enc(v) for v in values))
+
+    def rpush(self, key: str, *values: Any) -> int:
+        self._charge()
+        return self._server.rpush(key, *(self._enc(v) for v in values))
+
+    def lpop(self, key: str) -> Any:
+        self._charge()
+        value = self._server.lpop(key)
+        return None if value is None else self._dec(value)
+
+    def rpop(self, key: str) -> Any:
+        self._charge()
+        value = self._server.rpop(key)
+        return None if value is None else self._dec(value)
+
+    def blpop(
+        self, keys: "str | Iterable[str]", timeout: Optional[float] = None
+    ) -> Optional[Tuple[str, Any]]:
+        self._charge()
+        if isinstance(keys, str):
+            keys = [keys]
+        hit = self._server.blpop(keys, timeout=timeout)
+        if hit is None:
+            return None
+        key, value = hit
+        return key, self._dec(value)
+
+    def llen(self, key: str) -> int:
+        self._charge()
+        return self._server.llen(key)
+
+    def lrange(self, key: str, start: int, end: int) -> List[Any]:
+        self._charge()
+        return [self._dec(v) for v in self._server.lrange(key, start, end)]
+
+    # ---------------------------------------------------------------- hashes
+    def hset(self, key: str, field: str, value: Any) -> int:
+        self._charge()
+        return self._server.hset(key, field, value)
+
+    def hget(self, key: str, field: str) -> Any:
+        self._charge()
+        return self._server.hget(key, field)
+
+    def hdel(self, key: str, *fields: str) -> int:
+        self._charge()
+        return self._server.hdel(key, *fields)
+
+    def hgetall(self, key: str) -> Dict[str, Any]:
+        self._charge()
+        return self._server.hgetall(key)
+
+    def hlen(self, key: str) -> int:
+        self._charge()
+        return self._server.hlen(key)
+
+    def hincrby(self, key: str, field: str, amount: int = 1) -> int:
+        self._charge()
+        return self._server.hincrby(key, field, amount)
+
+    # ------------------------------------------------------------------ sets
+    def sadd(self, key: str, *members: Any) -> int:
+        self._charge()
+        return self._server.sadd(key, *members)
+
+    def srem(self, key: str, *members: Any) -> int:
+        self._charge()
+        return self._server.srem(key, *members)
+
+    def smembers(self, key: str) -> set:
+        self._charge()
+        return self._server.smembers(key)
+
+    def scard(self, key: str) -> int:
+        self._charge()
+        return self._server.scard(key)
+
+    def sismember(self, key: str, member: Any) -> bool:
+        self._charge()
+        return self._server.sismember(key, member)
+
+    # --------------------------------------------------------------- streams
+    def xadd(
+        self,
+        key: str,
+        fields: Mapping[str, Any],
+        id: str = "*",  # noqa: A002 - redis-py parameter name
+        maxlen: Optional[int] = None,
+    ) -> str:
+        self._charge()
+        return self._server.xadd(key, self._enc_fields(fields), entry_id=id, maxlen=maxlen)
+
+    def xlen(self, key: str) -> int:
+        self._charge()
+        return self._server.xlen(key)
+
+    def xtrim(self, key: str, maxlen: int) -> int:
+        self._charge()
+        return self._server.xtrim(key, maxlen)
+
+    def xrange(
+        self,
+        key: str,
+        min: str = "-",  # noqa: A002 - redis-py parameter name
+        max: str = "+",  # noqa: A002 - redis-py parameter name
+        count: Optional[int] = None,
+    ) -> List[Tuple[str, Dict[str, Any]]]:
+        self._charge()
+        return self._dec_entries(self._server.xrange(key, min, max, count))
+
+    def xread(
+        self,
+        streams: Mapping[str, str],
+        count: Optional[int] = None,
+        block: Optional[int] = None,
+    ) -> List[Tuple[str, List[Tuple[str, Dict[str, Any]]]]]:
+        self._charge()
+        reply = self._server.xread(streams, count=count, block_ms=block)
+        return [(key, self._dec_entries(entries)) for key, entries in reply]
+
+    def xgroup_create(
+        self, key: str, group: str, id: str = "$", mkstream: bool = False  # noqa: A002
+    ) -> bool:
+        self._charge()
+        return self._server.xgroup_create(key, group, entry_id=id, mkstream=mkstream)
+
+    def xgroup_destroy(self, key: str, group: str) -> int:
+        self._charge()
+        return self._server.xgroup_destroy(key, group)
+
+    def xgroup_delconsumer(self, key: str, group: str, consumer: str) -> int:
+        self._charge()
+        return self._server.xgroup_delconsumer(key, group, consumer)
+
+    def xreadgroup(
+        self,
+        groupname: str,
+        consumername: str,
+        streams: Mapping[str, str],
+        count: Optional[int] = None,
+        block: Optional[int] = None,
+        noack: bool = False,
+    ) -> List[Tuple[str, List[Tuple[str, Dict[str, Any]]]]]:
+        self._charge()
+        reply = self._server.xreadgroup(
+            groupname, consumername, streams, count=count, block_ms=block, noack=noack
+        )
+        return [(key, self._dec_entries(entries)) for key, entries in reply]
+
+    def xack(self, key: str, group: str, *entry_ids: str) -> int:
+        self._charge()
+        return self._server.xack(key, group, *entry_ids)
+
+    def xpending(self, key: str, group: str) -> Dict[str, Any]:
+        self._charge()
+        return self._server.xpending(key, group)
+
+    def xpending_range(
+        self,
+        key: str,
+        group: str,
+        min: str = "-",  # noqa: A002
+        max: str = "+",  # noqa: A002
+        count: int = 10,
+        consumername: Optional[str] = None,
+        idle: Optional[float] = None,
+    ) -> List[Dict[str, Any]]:
+        self._charge()
+        return self._server.xpending_range(
+            key, group, min, max, count, consumer=consumername, min_idle_ms=idle
+        )
+
+    def xclaim(
+        self,
+        key: str,
+        group: str,
+        consumername: str,
+        min_idle_time: float,
+        message_ids: Iterable[str],
+    ) -> List[Tuple[str, Dict[str, Any]]]:
+        self._charge()
+        claimed = self._server.xclaim(key, group, consumername, min_idle_time, message_ids)
+        return self._dec_entries(claimed)
+
+    def xautoclaim(
+        self,
+        key: str,
+        group: str,
+        consumername: str,
+        min_idle_time: float,
+        start_id: str = "0-0",
+        count: int = 100,
+    ) -> Tuple[str, List[Tuple[str, Dict[str, Any]]]]:
+        self._charge()
+        cursor, claimed = self._server.xautoclaim(
+            key, group, consumername, min_idle_time, start=start_id, count=count
+        )
+        return cursor, self._dec_entries(claimed)
+
+    def xinfo_stream(self, key: str) -> Dict[str, Any]:
+        self._charge()
+        return self._server.xinfo_stream(key)
+
+    def xinfo_groups(self, key: str) -> List[Dict[str, Any]]:
+        self._charge()
+        return self._server.xinfo_groups(key)
+
+    def xinfo_consumers(self, key: str, group: str) -> List[Dict[str, Any]]:
+        self._charge()
+        return self._server.xinfo_consumers(key, group)

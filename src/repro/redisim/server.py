@@ -1,0 +1,779 @@
+"""Thread-safe in-process Redis server.
+
+Holds a single keyspace mapping keys to typed values (string, list, hash,
+set, stream) and implements the command subset the workflow mappings use.
+All commands run under one re-entrant lock; blocking commands (``BLPOP``,
+blocking ``XREAD``/``XREADGROUP``) wait on a condition variable that every
+mutation notifies, which mirrors the event-driven wakeup behaviour of a real
+Redis client connection.
+
+Commands follow the semantics documented at redis.io closely; deliberate
+simplifications (no expiry, no persistence, no cluster) are listed in the
+package docstring.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.redisim.errors import (
+    BusyGroupError,
+    NoGroupError,
+    RedisError,
+    WrongTypeError,
+)
+from repro.redisim.streams import (
+    MAX_ID,
+    MIN_ID,
+    ConsumerGroup,
+    PendingEntry,
+    Stream,
+    StreamEntry,
+    StreamID,
+)
+
+_TYPE_STRING = "string"
+_TYPE_LIST = "list"
+_TYPE_HASH = "hash"
+_TYPE_SET = "set"
+_TYPE_STREAM = "stream"
+
+
+def _parse_range_id(raw: str, *, is_start: bool) -> StreamID:
+    """Parse XRANGE-style boundary IDs (``-`` and ``+`` sentinels allowed)."""
+    if raw == "-":
+        return MIN_ID
+    if raw == "+":
+        return MAX_ID
+    return StreamID.parse(raw, default_seq=0 if is_start else (2**63 - 1))
+
+
+class RedisServer:
+    """The in-process server: one keyspace, one big lock, condition wakeups.
+
+    Parameters
+    ----------
+    now:
+        Monotonic time source (seconds).  Injectable for deterministic tests
+        of idle-time behaviour.
+    """
+
+    def __init__(self, now: Callable[[], float] = time.monotonic) -> None:
+        self._now = now
+        self._lock = threading.RLock()
+        self._cond = threading.Condition(self._lock)
+        self._data: Dict[str, Tuple[str, Any]] = {}
+        self.command_count: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ util
+    def _count(self, command: str) -> None:
+        self.command_count[command] = self.command_count.get(command, 0) + 1
+
+    def _get_typed(self, key: str, expected: str) -> Any:
+        slot = self._data.get(key)
+        if slot is None:
+            return None
+        actual, value = slot
+        if actual != expected:
+            raise WrongTypeError(key, expected, actual)
+        return value
+
+    def _now_ms(self) -> int:
+        return int(self._now() * 1000)
+
+    def time_ms(self) -> int:
+        """Server clock in milliseconds (used by tests)."""
+        with self._lock:
+            return self._now_ms()
+
+    # ----------------------------------------------------------- transactions
+    #: Commands executable inside a transaction (MULTI/EXEC equivalent).
+    _TXN_COMMANDS = frozenset(
+        {
+            "set", "get", "incrby", "decrby", "delete",
+            "lpush", "rpush", "lpop", "rpop",
+            "hset", "hdel", "hincrby", "sadd", "srem",
+            "xadd", "xack", "xtrim",
+        }
+    )
+
+    def transaction(self, commands):
+        """Execute a command batch atomically under one lock acquisition.
+
+        The in-process equivalent of Redis MULTI/EXEC (or a pipeline with a
+        single round trip): ``commands`` is a list of
+        ``(name, args, kwargs)`` triples restricted to
+        :data:`_TXN_COMMANDS`.  Returns the list of results.  One wakeup is
+        issued at the end instead of one per command -- under contention
+        this collapses the per-command lock/GIL handoff storm that
+        dominates fine-grained task streams.
+        """
+        results = []
+        with self._cond:
+            for name, args, kwargs in commands:
+                if name not in self._TXN_COMMANDS:
+                    raise RedisError(f"command {name!r} not allowed in a transaction")
+                results.append(getattr(self, name)(*args, **kwargs))
+            self._cond.notify_all()
+        return results
+
+    # --------------------------------------------------------------- generic
+    def flushall(self) -> None:
+        with self._cond:
+            self._count("flushall")
+            self._data.clear()
+            self._cond.notify_all()
+
+    def dbsize(self) -> int:
+        with self._lock:
+            self._count("dbsize")
+            return len(self._data)
+
+    def keys(self, pattern: str = "*") -> List[str]:
+        with self._lock:
+            self._count("keys")
+            return [k for k in self._data if fnmatch.fnmatchcase(k, pattern)]
+
+    def type(self, key: str) -> str:
+        with self._lock:
+            self._count("type")
+            slot = self._data.get(key)
+            return "none" if slot is None else slot[0]
+
+    def delete(self, *keys: str) -> int:
+        with self._cond:
+            self._count("delete")
+            removed = 0
+            for key in keys:
+                if key in self._data:
+                    del self._data[key]
+                    removed += 1
+            if removed:
+                self._cond.notify_all()
+            return removed
+
+    def exists(self, *keys: str) -> int:
+        with self._lock:
+            self._count("exists")
+            return sum(1 for key in keys if key in self._data)
+
+    # --------------------------------------------------------------- strings
+    def set(self, key: str, value: Any) -> bool:
+        # No notify: nothing blocks on string values, and waking every
+        # BLPOP/XREADGROUP waiter per counter write is pure contention.
+        with self._cond:
+            self._count("set")
+            self._data[key] = (_TYPE_STRING, value)
+            return True
+
+    def get(self, key: str) -> Any:
+        with self._lock:
+            self._count("get")
+            return self._get_typed(key, _TYPE_STRING)
+
+    def incrby(self, key: str, amount: int = 1) -> int:
+        with self._cond:
+            self._count("incrby")
+            current = self._get_typed(key, _TYPE_STRING)
+            if current is None:
+                current = 0
+            try:
+                new_value = int(current) + amount
+            except (TypeError, ValueError) as exc:
+                raise RedisError(f"value at {key!r} is not an integer") from exc
+            self._data[key] = (_TYPE_STRING, new_value)
+            return new_value
+
+    def decrby(self, key: str, amount: int = 1) -> int:
+        return self.incrby(key, -amount)
+
+    # ----------------------------------------------------------------- lists
+    def _list_for_write(self, key: str) -> deque:
+        value = self._get_typed(key, _TYPE_LIST)
+        if value is None:
+            value = deque()
+            self._data[key] = (_TYPE_LIST, value)
+        return value
+
+    def lpush(self, key: str, *values: Any) -> int:
+        with self._cond:
+            self._count("lpush")
+            lst = self._list_for_write(key)
+            for value in values:
+                lst.appendleft(value)
+            self._cond.notify_all()
+            return len(lst)
+
+    def rpush(self, key: str, *values: Any) -> int:
+        with self._cond:
+            self._count("rpush")
+            lst = self._list_for_write(key)
+            for value in values:
+                lst.append(value)
+            self._cond.notify_all()
+            return len(lst)
+
+    def _pop(self, key: str, left: bool) -> Any:
+        lst = self._get_typed(key, _TYPE_LIST)
+        if not lst:
+            return None
+        value = lst.popleft() if left else lst.pop()
+        if not lst:
+            del self._data[key]
+        return value
+
+    def lpop(self, key: str) -> Any:
+        with self._cond:
+            self._count("lpop")
+            return self._pop(key, left=True)
+
+    def rpop(self, key: str) -> Any:
+        with self._cond:
+            self._count("rpop")
+            return self._pop(key, left=False)
+
+    def blpop(
+        self, keys: Iterable[str], timeout: Optional[float] = None
+    ) -> Optional[Tuple[str, Any]]:
+        """Blocking left-pop across ``keys``; ``None`` on timeout.
+
+        ``timeout`` is in seconds; ``None`` or ``0`` blocks forever (as in
+        Redis, where 0 means block indefinitely).
+        """
+        keys = list(keys)
+        deadline = None
+        if timeout:
+            deadline = self._now() + timeout
+        with self._cond:
+            self._count("blpop")
+            while True:
+                for key in keys:
+                    lst = self._get_typed(key, _TYPE_LIST)
+                    if lst:
+                        return key, self._pop(key, left=True)
+                if deadline is None:
+                    self._cond.wait()
+                else:
+                    remaining = deadline - self._now()
+                    if remaining <= 0 or not self._cond.wait(timeout=remaining):
+                        return None
+
+    def llen(self, key: str) -> int:
+        with self._lock:
+            self._count("llen")
+            lst = self._get_typed(key, _TYPE_LIST)
+            return 0 if lst is None else len(lst)
+
+    def lrange(self, key: str, start: int, end: int) -> List[Any]:
+        with self._lock:
+            self._count("lrange")
+            lst = self._get_typed(key, _TYPE_LIST)
+            if lst is None:
+                return []
+            items = list(lst)
+            # Redis end index is inclusive; -1 means "through the last item".
+            if end == -1:
+                return items[start:]
+            return items[start : end + 1]
+
+    # ---------------------------------------------------------------- hashes
+    def hset(self, key: str, field: str, value: Any) -> int:
+        with self._cond:
+            self._count("hset")
+            mapping = self._get_typed(key, _TYPE_HASH)
+            if mapping is None:
+                mapping = {}
+                self._data[key] = (_TYPE_HASH, mapping)
+            created = 0 if field in mapping else 1
+            mapping[field] = value
+            return created
+
+    def hget(self, key: str, field: str) -> Any:
+        with self._lock:
+            self._count("hget")
+            mapping = self._get_typed(key, _TYPE_HASH)
+            return None if mapping is None else mapping.get(field)
+
+    def hdel(self, key: str, *fields: str) -> int:
+        with self._cond:
+            self._count("hdel")
+            mapping = self._get_typed(key, _TYPE_HASH)
+            if mapping is None:
+                return 0
+            removed = 0
+            for field in fields:
+                if field in mapping:
+                    del mapping[field]
+                    removed += 1
+            if not mapping:
+                del self._data[key]
+            return removed
+
+    def hgetall(self, key: str) -> Dict[str, Any]:
+        with self._lock:
+            self._count("hgetall")
+            mapping = self._get_typed(key, _TYPE_HASH)
+            return {} if mapping is None else dict(mapping)
+
+    def hlen(self, key: str) -> int:
+        with self._lock:
+            self._count("hlen")
+            mapping = self._get_typed(key, _TYPE_HASH)
+            return 0 if mapping is None else len(mapping)
+
+    def hincrby(self, key: str, field: str, amount: int = 1) -> int:
+        with self._cond:
+            self._count("hincrby")
+            mapping = self._get_typed(key, _TYPE_HASH)
+            if mapping is None:
+                mapping = {}
+                self._data[key] = (_TYPE_HASH, mapping)
+            try:
+                new_value = int(mapping.get(field, 0)) + amount
+            except (TypeError, ValueError) as exc:
+                raise RedisError(f"hash field {key!r}/{field!r} is not an integer") from exc
+            mapping[field] = new_value
+            return new_value
+
+    # ------------------------------------------------------------------ sets
+    def sadd(self, key: str, *members: Any) -> int:
+        with self._cond:
+            self._count("sadd")
+            value = self._get_typed(key, _TYPE_SET)
+            if value is None:
+                value = set()
+                self._data[key] = (_TYPE_SET, value)
+            before = len(value)
+            value.update(members)
+            return len(value) - before
+
+    def srem(self, key: str, *members: Any) -> int:
+        with self._cond:
+            self._count("srem")
+            value = self._get_typed(key, _TYPE_SET)
+            if value is None:
+                return 0
+            removed = 0
+            for member in members:
+                if member in value:
+                    value.discard(member)
+                    removed += 1
+            if not value:
+                del self._data[key]
+            return removed
+
+    def smembers(self, key: str) -> set:
+        with self._lock:
+            self._count("smembers")
+            value = self._get_typed(key, _TYPE_SET)
+            return set() if value is None else set(value)
+
+    def scard(self, key: str) -> int:
+        with self._lock:
+            self._count("scard")
+            value = self._get_typed(key, _TYPE_SET)
+            return 0 if value is None else len(value)
+
+    def sismember(self, key: str, member: Any) -> bool:
+        with self._lock:
+            self._count("sismember")
+            value = self._get_typed(key, _TYPE_SET)
+            return False if value is None else member in value
+
+    # --------------------------------------------------------------- streams
+    def _stream_for_write(self, key: str) -> Stream:
+        stream = self._get_typed(key, _TYPE_STREAM)
+        if stream is None:
+            stream = Stream()
+            self._data[key] = (_TYPE_STREAM, stream)
+        return stream
+
+    def _stream_or_none(self, key: str) -> Optional[Stream]:
+        return self._get_typed(key, _TYPE_STREAM)
+
+    def _group(self, key: str, group: str) -> ConsumerGroup:
+        stream = self._stream_or_none(key)
+        if stream is None or group not in stream.groups:
+            raise NoGroupError(key, group)
+        return stream.groups[group]
+
+    def xadd(
+        self,
+        key: str,
+        fields: Mapping[str, Any],
+        entry_id: str = "*",
+        maxlen: Optional[int] = None,
+    ) -> str:
+        with self._cond:
+            self._count("xadd")
+            stream = self._stream_for_write(key)
+            new_id = stream.add(fields, now_ms=self._now_ms(), entry_id=entry_id)
+            if maxlen is not None:
+                stream.trim_maxlen(maxlen)
+            self._cond.notify_all()
+            return str(new_id)
+
+    def xlen(self, key: str) -> int:
+        with self._lock:
+            self._count("xlen")
+            stream = self._stream_or_none(key)
+            return 0 if stream is None else len(stream)
+
+    def xtrim(self, key: str, maxlen: int) -> int:
+        with self._cond:
+            self._count("xtrim")
+            stream = self._stream_or_none(key)
+            return 0 if stream is None else stream.trim_maxlen(maxlen)
+
+    def xrange(
+        self,
+        key: str,
+        min_id: str = "-",
+        max_id: str = "+",
+        count: Optional[int] = None,
+    ) -> List[Tuple[str, Dict[str, Any]]]:
+        with self._lock:
+            self._count("xrange")
+            stream = self._stream_or_none(key)
+            if stream is None:
+                return []
+            start = _parse_range_id(min_id, is_start=True)
+            end = _parse_range_id(max_id, is_start=False)
+            return [(str(e.id), dict(e.fields)) for e in stream.range(start, end, count)]
+
+    def xread(
+        self,
+        streams: Mapping[str, str],
+        count: Optional[int] = None,
+        block_ms: Optional[int] = None,
+    ) -> List[Tuple[str, List[Tuple[str, Dict[str, Any]]]]]:
+        """Plain (group-less) stream read; ``$`` means "only new entries"."""
+        deadline = None
+        if block_ms is not None:
+            deadline = self._now() + block_ms / 1000.0
+        with self._cond:
+            self._count("xread")
+            cursors: Dict[str, StreamID] = {}
+            for key, raw in streams.items():
+                if raw == "$":
+                    stream = self._stream_or_none(key)
+                    cursors[key] = stream.last_id if stream is not None else StreamID(0, 0)
+                else:
+                    cursors[key] = StreamID.parse(raw)
+            while True:
+                reply = []
+                for key, last in cursors.items():
+                    stream = self._stream_or_none(key)
+                    if stream is None:
+                        continue
+                    entries = stream.after(last, count)
+                    if entries:
+                        reply.append(
+                            (key, [(str(e.id), dict(e.fields)) for e in entries])
+                        )
+                if reply:
+                    return reply
+                if block_ms is None:
+                    return []
+                remaining = deadline - self._now()
+                if remaining <= 0 or not self._cond.wait(timeout=remaining):
+                    return []
+
+    def xgroup_create(
+        self, key: str, group: str, entry_id: str = "$", mkstream: bool = False
+    ) -> bool:
+        with self._cond:
+            self._count("xgroup_create")
+            stream = self._stream_or_none(key)
+            if stream is None:
+                if not mkstream:
+                    raise RedisError(
+                        f"stream {key!r} does not exist (use mkstream=True)"
+                    )
+                stream = self._stream_for_write(key)
+            if group in stream.groups:
+                raise BusyGroupError(key, group)
+            start = stream.last_id if entry_id == "$" else StreamID.parse(entry_id)
+            stream.groups[group] = ConsumerGroup(group, last_delivered=start)
+            return True
+
+    def xgroup_destroy(self, key: str, group: str) -> int:
+        with self._cond:
+            self._count("xgroup_destroy")
+            stream = self._stream_or_none(key)
+            if stream is None or group not in stream.groups:
+                return 0
+            del stream.groups[group]
+            return 1
+
+    def xgroup_delconsumer(self, key: str, group: str, consumer: str) -> int:
+        """Remove a consumer; returns the number of pending entries it held."""
+        with self._cond:
+            self._count("xgroup_delconsumer")
+            grp = self._group(key, group)
+            member = grp.consumers.pop(consumer, None)
+            if member is None:
+                return 0
+            pending = len(member.pending)
+            for entry_id in member.pending:
+                grp.pel.pop(entry_id, None)
+            return pending
+
+    def xreadgroup(
+        self,
+        group: str,
+        consumer: str,
+        streams: Mapping[str, str],
+        count: Optional[int] = None,
+        block_ms: Optional[int] = None,
+        noack: bool = False,
+    ) -> List[Tuple[str, List[Tuple[str, Dict[str, Any]]]]]:
+        """Consumer-group read.
+
+        ``">"`` delivers entries never delivered to this group (advancing the
+        group cursor and inserting into the PEL); an explicit ID replays the
+        calling consumer's own pending entries after that ID.
+        """
+        deadline = None
+        if block_ms is not None:
+            deadline = self._now() + block_ms / 1000.0
+        with self._cond:
+            self._count("xreadgroup")
+            while True:
+                reply = []
+                now = self._now()
+                for key, cursor in streams.items():
+                    grp = self._group(key, group)
+                    stream = self._stream_or_none(key)
+                    member = grp.get_consumer(consumer, now, refresh=False)
+                    if cursor == ">":
+                        entries = stream.after(grp.last_delivered, count)
+                        if entries:
+                            member.last_seen = now  # delivery refreshes idle
+                            delivered = []
+                            for entry in entries:
+                                grp.last_delivered = entry.id
+                                grp.entries_read += 1
+                                if not noack:
+                                    grp.pel[entry.id] = PendingEntry(
+                                        consumer=consumer, delivery_time=now
+                                    )
+                                    member.pending.add(entry.id)
+                                delivered.append((str(entry.id), dict(entry.fields)))
+                            reply.append((key, delivered))
+                    else:
+                        # Replay this consumer's PEL after the given ID.
+                        start = StreamID.parse(cursor)
+                        own = sorted(
+                            eid for eid in member.pending if eid > start
+                        )
+                        if count is not None:
+                            own = own[:count]
+                        replayed = []
+                        for entry_id in own:
+                            entry = stream.get(entry_id)
+                            fields = {} if entry is None else dict(entry.fields)
+                            replayed.append((str(entry_id), fields))
+                        # Per Redis: replay returns (possibly empty) history
+                        # immediately and never blocks.
+                        reply.append((key, replayed))
+                if any(entries for _, entries in reply):
+                    return reply
+                if any(cursor != ">" for cursor in streams.values()):
+                    # History reads return immediately even when empty.
+                    return reply
+                if block_ms is None:
+                    return []
+                remaining = deadline - self._now()
+                if remaining <= 0 or not self._cond.wait(timeout=remaining):
+                    return []
+
+    def xack(self, key: str, group: str, *entry_ids: str) -> int:
+        with self._cond:
+            self._count("xack")
+            grp = self._group(key, group)
+            now = self._now()
+            acked = 0
+            for raw in entry_ids:
+                entry_id = StreamID.parse(raw)
+                pending = grp.pel.pop(entry_id, None)
+                if pending is not None:
+                    member = grp.consumers.get(pending.consumer)
+                    if member is not None:
+                        member.pending.discard(entry_id)
+                        member.last_seen = now
+                    acked += 1
+            return acked
+
+    def xpending(self, key: str, group: str) -> Dict[str, Any]:
+        """Summary form: count, min/max pending IDs, per-consumer counts."""
+        with self._lock:
+            self._count("xpending")
+            grp = self._group(key, group)
+            if not grp.pel:
+                return {"pending": 0, "min": None, "max": None, "consumers": {}}
+            ids = sorted(grp.pel)
+            per_consumer: Dict[str, int] = {}
+            for entry in grp.pel.values():
+                per_consumer[entry.consumer] = per_consumer.get(entry.consumer, 0) + 1
+            return {
+                "pending": len(ids),
+                "min": str(ids[0]),
+                "max": str(ids[-1]),
+                "consumers": per_consumer,
+            }
+
+    def xpending_range(
+        self,
+        key: str,
+        group: str,
+        min_id: str = "-",
+        max_id: str = "+",
+        count: int = 10,
+        consumer: Optional[str] = None,
+        min_idle_ms: Optional[float] = None,
+    ) -> List[Dict[str, Any]]:
+        """Extended form: per-entry pending details, optionally filtered."""
+        with self._lock:
+            self._count("xpending_range")
+            grp = self._group(key, group)
+            now = self._now()
+            start = _parse_range_id(min_id, is_start=True)
+            end = _parse_range_id(max_id, is_start=False)
+            rows = []
+            for entry_id in sorted(grp.pel):
+                if not (start <= entry_id <= end):
+                    continue
+                pending = grp.pel[entry_id]
+                if consumer is not None and pending.consumer != consumer:
+                    continue
+                idle = (now - pending.delivery_time) * 1000.0
+                if min_idle_ms is not None and idle < min_idle_ms:
+                    continue
+                rows.append(
+                    {
+                        "message_id": str(entry_id),
+                        "consumer": pending.consumer,
+                        "time_since_delivered": idle,
+                        "times_delivered": pending.delivery_count,
+                    }
+                )
+                if len(rows) >= count:
+                    break
+            return rows
+
+    def xclaim(
+        self,
+        key: str,
+        group: str,
+        consumer: str,
+        min_idle_ms: float,
+        entry_ids: Iterable[str],
+    ) -> List[Tuple[str, Dict[str, Any]]]:
+        """Transfer ownership of sufficiently idle pending entries."""
+        with self._cond:
+            self._count("xclaim")
+            grp = self._group(key, group)
+            stream = self._stream_or_none(key)
+            now = self._now()
+            claimer = grp.get_consumer(consumer, now)
+            claimed = []
+            for raw in entry_ids:
+                entry_id = StreamID.parse(raw)
+                pending = grp.pel.get(entry_id)
+                if pending is None:
+                    continue
+                idle = (now - pending.delivery_time) * 1000.0
+                if idle < min_idle_ms:
+                    continue
+                previous = grp.consumers.get(pending.consumer)
+                if previous is not None:
+                    previous.pending.discard(entry_id)
+                entry = stream.get(entry_id)
+                if entry is None:
+                    # Entry was trimmed: Redis deletes such PEL records.
+                    del grp.pel[entry_id]
+                    continue
+                pending.consumer = consumer
+                pending.delivery_time = now
+                pending.delivery_count += 1
+                claimer.pending.add(entry_id)
+                claimed.append((str(entry_id), dict(entry.fields)))
+            return claimed
+
+    def xautoclaim(
+        self,
+        key: str,
+        group: str,
+        consumer: str,
+        min_idle_ms: float,
+        start: str = "0-0",
+        count: int = 100,
+    ) -> Tuple[str, List[Tuple[str, Dict[str, Any]]]]:
+        """Scan the PEL from ``start`` claiming idle entries; returns cursor."""
+        with self._cond:
+            self._count("xautoclaim")
+            grp = self._group(key, group)
+            start_id = StreamID.parse(start)
+            candidates = sorted(eid for eid in grp.pel if eid >= start_id)
+            claimed = self.xclaim(
+                key, group, consumer, min_idle_ms, [str(e) for e in candidates[:count]]
+            )
+            if len(candidates) > count:
+                cursor = str(candidates[count])
+            else:
+                cursor = "0-0"
+            return cursor, claimed
+
+    def xinfo_stream(self, key: str) -> Dict[str, Any]:
+        with self._lock:
+            self._count("xinfo_stream")
+            stream = self._stream_or_none(key)
+            if stream is None:
+                raise RedisError(f"no such key {key!r}")
+            return {
+                "length": len(stream),
+                "last-generated-id": str(stream.last_id),
+                "groups": len(stream.groups),
+                "entries-added": stream.length_added,
+            }
+
+    def xinfo_groups(self, key: str) -> List[Dict[str, Any]]:
+        with self._lock:
+            self._count("xinfo_groups")
+            stream = self._stream_or_none(key)
+            if stream is None:
+                raise RedisError(f"no such key {key!r}")
+            rows = []
+            for grp in stream.groups.values():
+                lag = len(stream.after(grp.last_delivered))
+                rows.append(
+                    {
+                        "name": grp.name,
+                        "consumers": len(grp.consumers),
+                        "pending": len(grp.pel),
+                        "last-delivered-id": str(grp.last_delivered),
+                        "entries-read": grp.entries_read,
+                        "lag": lag,
+                    }
+                )
+            return rows
+
+    def xinfo_consumers(self, key: str, group: str) -> List[Dict[str, Any]]:
+        """Per-consumer state; ``idle`` (ms) feeds the auto-scaling strategy."""
+        with self._lock:
+            self._count("xinfo_consumers")
+            grp = self._group(key, group)
+            now = self._now()
+            return [
+                {
+                    "name": member.name,
+                    "pending": len(member.pending),
+                    "idle": member.idle_ms(now),
+                }
+                for member in grp.consumers.values()
+            ]

@@ -1,0 +1,40 @@
+"""Execution substrate for the workflow engine.
+
+This package provides the low-level machinery every mapping is built on:
+
+- :mod:`repro.runtime.clock` -- a scalable clock so that workloads expressed
+  in "paper seconds" can be replayed in milliseconds without changing any
+  scheduling logic.
+- :mod:`repro.runtime.cores` -- a token-semaphore *core limiter* that emulates
+  a machine with a fixed number of CPU cores, reproducing oversubscription
+  effects (the paper's 8-core *cloud* platform running 16 processes).
+- :mod:`repro.runtime.queues` -- closeable/tracked queues with poison-pill
+  support and in-flight task accounting used by the termination strategies.
+- :mod:`repro.runtime.workers` -- a ``multiprocessing.Pool``-style thread pool
+  (``apply_async`` + completion callbacks) used by the auto-scaler, plus
+  dedicated-worker helpers used by the static mappings.
+- :mod:`repro.runtime.accounting` -- per-worker activity meters implementing
+  the paper's *total process time* metric (sum of active process durations).
+
+The paper runs workers as OS processes; we run them as threads (see
+DESIGN.md, substitution table).  All workloads in this repository are
+sleep/IO-dominated, so threads preserve the queueing and contention dynamics
+while keeping the suite portable and fast.
+"""
+
+from repro.runtime.accounting import ActivityMeter
+from repro.runtime.clock import Clock
+from repro.runtime.cores import CoreLimiter
+from repro.runtime.queues import POISON_PILL, CloseableQueue, TrackedQueue
+from repro.runtime.workers import AsyncResult, WorkerPool
+
+__all__ = [
+    "ActivityMeter",
+    "AsyncResult",
+    "Clock",
+    "CloseableQueue",
+    "CoreLimiter",
+    "POISON_PILL",
+    "TrackedQueue",
+    "WorkerPool",
+]

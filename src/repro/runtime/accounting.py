@@ -1,0 +1,95 @@
+"""Per-worker activity accounting: the *total process time* metric.
+
+The paper evaluates every mapping on two metrics (Section 5.1.2):
+
+- **runtime** -- real-world execution time of the whole workflow, and
+- **total process time** -- "all active process durations, reflecting
+  overall efficiency".
+
+A statically mapped process is *active* from launch to termination even when
+it is merely polling an empty queue, so for ``multi``/``dyn_multi`` the
+process time is roughly ``processes x runtime``.  The auto-scaling mappings
+transition surplus processes into an *idle* standby state that does not
+accumulate process time -- that difference is exactly what Tables 1-3
+quantify.
+
+:class:`ActivityMeter` records active intervals per worker.  Mappings bracket
+each worker's active phases with :meth:`ActivityMeter.activate` /
+:meth:`ActivityMeter.deactivate` (or the :meth:`ActivityMeter.active`
+context manager) and read the aggregate at the end of the run.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+from repro.runtime.clock import Clock
+
+
+class ActivityMeter:
+    """Thread-safe accumulator of per-worker active durations."""
+
+    def __init__(self, clock: Clock) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._accumulated: Dict[str, float] = {}
+        self._open_since: Dict[str, float] = {}
+
+    def activate(self, worker_id: str) -> None:
+        """Mark ``worker_id`` active; no-op if already active."""
+        now = self._clock.now()
+        with self._lock:
+            self._open_since.setdefault(worker_id, now)
+
+    def deactivate(self, worker_id: str) -> None:
+        """Mark ``worker_id`` idle, folding the open interval into the total."""
+        now = self._clock.now()
+        with self._lock:
+            started = self._open_since.pop(worker_id, None)
+            if started is not None:
+                self._accumulated[worker_id] = (
+                    self._accumulated.get(worker_id, 0.0) + now - started
+                )
+
+    @contextmanager
+    def active(self, worker_id: str) -> Iterator[None]:
+        """Context manager bracketing one active phase of a worker."""
+        self.activate(worker_id)
+        try:
+            yield
+        finally:
+            self.deactivate(worker_id)
+
+    def close(self) -> None:
+        """Fold any still-open intervals (call once at end of run)."""
+        with self._lock:
+            now = self._clock.now()
+            for worker_id, started in list(self._open_since.items()):
+                self._accumulated[worker_id] = (
+                    self._accumulated.get(worker_id, 0.0) + now - started
+                )
+            self._open_since.clear()
+
+    def total(self) -> float:
+        """Total process time (real seconds) across all workers so far."""
+        with self._lock:
+            now = self._clock.now()
+            open_time = sum(now - started for started in self._open_since.values())
+            return sum(self._accumulated.values()) + open_time
+
+    def per_worker(self) -> Dict[str, float]:
+        """Snapshot of accumulated active time per worker (closed intervals)."""
+        with self._lock:
+            now = self._clock.now()
+            snapshot = dict(self._accumulated)
+            for worker_id, started in self._open_since.items():
+                snapshot[worker_id] = snapshot.get(worker_id, 0.0) + now - started
+            return snapshot
+
+    @property
+    def active_workers(self) -> int:
+        """Number of workers currently in the active state."""
+        with self._lock:
+            return len(self._open_since)

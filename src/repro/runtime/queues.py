@@ -1,0 +1,184 @@
+"""Queues used by the mappings.
+
+Two queue flavours are provided:
+
+- :class:`CloseableQueue` -- a thin wrapper over :class:`queue.Queue` with
+  poison-pill close semantics, used for the port-to-port channels of the
+  static ``multi`` mapping.
+- :class:`TrackedQueue` -- a global task queue with *outstanding-work*
+  accounting.  A task is outstanding from the moment it is put until the
+  worker that consumed it calls :meth:`TrackedQueue.mark_done` (having
+  already enqueued any child tasks).  ``outstanding == 0`` therefore proves
+  no further work can ever appear, which is the safe termination condition
+  the paper's retry + poison-pill strategy (Section 3.2.3) approximates.
+
+Both flavours also count puts/gets so the monitoring framework (queue size
+for the ``dyn_auto_multi`` auto-scaling strategy, Figure 13) can observe them
+without touching internals.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Optional
+
+
+class _PoisonPill:
+    """Sentinel broadcast on queues to accelerate worker termination."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "<POISON_PILL>"
+
+
+#: Module-level singleton; identity-compared by workers.
+POISON_PILL = _PoisonPill()
+
+
+class Empty(Exception):
+    """Raised by non-blocking/timed gets when no item is available."""
+
+
+class CloseableQueue:
+    """FIFO queue with poison-pill close, for port-to-port channels.
+
+    ``close(n)`` enqueues ``n`` poison pills so that ``n`` consumers each
+    observe end-of-stream exactly once.  Counted-termination logic (waiting
+    for one pill per upstream producer instance) lives in the mappings.
+    """
+
+    def __init__(self, maxsize: int = 0) -> None:
+        self._q: "queue.Queue[Any]" = queue.Queue(maxsize=maxsize)
+
+    def put(self, item: Any) -> None:
+        self._q.put(item)
+
+    def get(self, timeout: Optional[float] = None) -> Any:
+        """Blocking get; raises :class:`Empty` on timeout."""
+        try:
+            if timeout is None:
+                return self._q.get()
+            return self._q.get(timeout=timeout)
+        except queue.Empty:
+            raise Empty() from None
+
+    def get_nowait(self) -> Any:
+        try:
+            return self._q.get_nowait()
+        except queue.Empty:
+            raise Empty() from None
+
+    def qsize(self) -> int:
+        return self._q.qsize()
+
+    def empty(self) -> bool:
+        return self._q.empty()
+
+    def close(self, consumers: int = 1) -> None:
+        """Signal end-of-stream to ``consumers`` readers."""
+        if consumers < 0:
+            raise ValueError("consumers must be >= 0")
+        for _ in range(consumers):
+            self._q.put(POISON_PILL)
+
+
+class TrackedQueue:
+    """Global task queue with outstanding-work accounting.
+
+    Used by the dynamic mappings: workers ``get`` a task, process it (which
+    may ``put`` child tasks), then call :meth:`mark_done`.  The queue counts
+    *outstanding* work items -- tasks that have been put but whose processing
+    has not completed.  When ``outstanding`` drops to zero the workflow is
+    provably drained, because a completed task graph can no longer grow.
+
+    The paper's native dynamic termination merely checks queue emptiness,
+    which races with a worker that is about to enqueue children (the
+    "extreme cases" of Section 3.2.3).  The outstanding counter closes that
+    race; the retry/poison-pill strategy is layered on top of it in
+    :mod:`repro.mappings.termination`.
+    """
+
+    def __init__(self, maxsize: int = 0) -> None:
+        self._q: "queue.Queue[Any]" = queue.Queue(maxsize=maxsize)
+        self._lock = threading.Lock()
+        self._outstanding = 0
+        self._total_put = 0
+        self._total_got = 0
+        self._drained = threading.Event()
+
+    # -- producer side -----------------------------------------------------
+    def put(self, item: Any) -> None:
+        if item is POISON_PILL:
+            # Pills are control messages, not work; bypass accounting.
+            self._q.put(item)
+            return
+        with self._lock:
+            self._outstanding += 1
+            self._total_put += 1
+            self._drained.clear()
+        self._q.put(item)
+
+    def put_pill(self, count: int = 1) -> None:
+        """Broadcast ``count`` poison pills (control messages, not work)."""
+        for _ in range(count):
+            self._q.put(POISON_PILL)
+
+    # -- consumer side -----------------------------------------------------
+    def get(self, timeout: Optional[float] = None) -> Any:
+        try:
+            if timeout is None:
+                item = self._q.get()
+            else:
+                item = self._q.get(timeout=timeout)
+        except queue.Empty:
+            raise Empty() from None
+        if item is not POISON_PILL:
+            with self._lock:
+                self._total_got += 1
+        return item
+
+    def mark_done(self) -> None:
+        """Declare the most recently got task fully processed.
+
+        Must be called exactly once per non-pill item returned by
+        :meth:`get`, *after* any child tasks have been put.
+        """
+        with self._lock:
+            if self._outstanding <= 0:
+                raise RuntimeError("mark_done called more times than tasks were got")
+            self._outstanding -= 1
+            if self._outstanding == 0:
+                self._drained.set()
+
+    # -- monitoring --------------------------------------------------------
+    def qsize(self) -> int:
+        return self._q.qsize()
+
+    def empty(self) -> bool:
+        return self._q.empty()
+
+    @property
+    def outstanding(self) -> int:
+        return self._outstanding
+
+    @property
+    def total_put(self) -> int:
+        return self._total_put
+
+    @property
+    def total_got(self) -> int:
+        return self._total_got
+
+    def is_drained(self) -> bool:
+        """True when every task ever put has been fully processed."""
+        with self._lock:
+            return self._outstanding == 0
+
+    def wait_drained(self, timeout: Optional[float] = None) -> bool:
+        """Block until drained (or timeout); returns drained status."""
+        with self._lock:
+            if self._outstanding == 0:
+                return True
+        return self._drained.wait(timeout=timeout)

@@ -1,0 +1,34 @@
+"""Internal Extinction of Galaxies workflow (Section 4.1).
+
+Four stateless PEs::
+
+    read RaDec -> getVO Table -> filter Columns -> internal Extinction
+
+``read RaDec`` streams galaxy sky coordinates, ``getVO Table`` queries a
+(simulated) Virtual Observatory service for the galaxy's VOTable,
+``filter Columns`` projects the columns the computation needs, and
+``internal Extinction`` computes the dust-extinction metric.
+
+Workload knobs follow the paper exactly: the stream scales 1X = 100
+galaxies up to 10X = 1000, and the *heavy* variant injects random sleeps
+drawn from a ``beta(2, 5)`` distribution (0..1 nominal seconds) into the
+``getVO Table`` and ``filter Columns`` PEs.
+"""
+
+from repro.workflows.astro.pes import (
+    FilterColumns,
+    GetVOTable,
+    InternalExtinction,
+    ReadRaDec,
+)
+from repro.workflows.astro.votable import VOTableService
+from repro.workflows.astro.workflow import build_internal_extinction_workflow
+
+__all__ = [
+    "FilterColumns",
+    "GetVOTable",
+    "InternalExtinction",
+    "ReadRaDec",
+    "VOTableService",
+    "build_internal_extinction_workflow",
+]

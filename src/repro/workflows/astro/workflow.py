@@ -1,0 +1,56 @@
+"""Factory for the Internal Extinction of Galaxies workflow."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.graph import WorkflowGraph
+from repro.workflows.astro.pes import (
+    FilterColumns,
+    GetVOTable,
+    InternalExtinction,
+    ReadRaDec,
+)
+
+#: Galaxies per 1X workload unit (Section 4.1: "For a standard workload
+#: (denoted as 1X), it reads data for 100 galaxies").
+GALAXIES_PER_X = 100
+
+
+def build_internal_extinction_workflow(
+    scale: int = 1,
+    heavy: bool = False,
+    query_latency: float = 0.12,
+) -> Tuple[WorkflowGraph, List[int]]:
+    """Build the 4-PE galaxy workflow and its input stream.
+
+    Parameters
+    ----------
+    scale:
+        Workload multiplier: 1 -> 100 galaxies, 3 -> 300, 5 -> 500,
+        10 -> 1000 (the paper's 1X/3X/5X/10X).
+    heavy:
+        Enable the paper's "heavy" variant: ``beta(2, 5)`` random sleeps
+        (0..1 nominal seconds) inside ``getVO Table`` and
+        ``filter Columns``.
+    query_latency:
+        Nominal VO-query IO latency per galaxy.
+
+    Returns
+    -------
+    (graph, inputs):
+        The workflow graph and the iteration-index input list to pass to
+        :func:`repro.run`.
+    """
+    if scale < 1:
+        raise ValueError(f"scale must be >= 1, got {scale}")
+    graph = WorkflowGraph(f"galaxy_extinction_{scale}x{'_heavy' if heavy else ''}")
+    read = graph.add(ReadRaDec())
+    vo = graph.add(GetVOTable(query_latency=query_latency, heavy=heavy))
+    filt = graph.add(FilterColumns(heavy=heavy))
+    ext = graph.add(InternalExtinction())
+    graph.connect(read, "output", vo, "input")
+    graph.connect(vo, "output", filt, "input")
+    graph.connect(filt, "output", ext, "input")
+    inputs = list(range(scale * GALAXIES_PER_X))
+    return graph, inputs

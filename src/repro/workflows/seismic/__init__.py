@@ -1,0 +1,53 @@
+"""Seismic Cross-Correlation workflow (Section 4.2).
+
+Phase 1 (the part the paper benchmarks -- all PEs stateless) is a nine-PE
+pre-processing pipeline over raw station waveforms::
+
+    readTraces -> decimate -> detrend -> demean -> removeResponse
+               -> bandpass -> whiten -> calcFFT -> writeOutput
+
+The workload is deliberately imbalanced: the intermediate PEs are pure
+in-memory numerical transforms while the final PE performs disk IO --
+the heterogeneity the paper calls out.
+
+Phase 2 (cross-correlation over station pairs, with a *global* grouping
+that makes it stateful) is included for completeness and used by the hybrid
+mapping tests; the paper excludes it from the auto-scaling figures because
+auto-scaling cannot handle stateful PEs.
+"""
+
+from repro.workflows.seismic.pes import (
+    Bandpass,
+    CalcFFT,
+    CrossCorrelation,
+    Decimate,
+    Demean,
+    Detrend,
+    PairAggregator,
+    ReadTraces,
+    RemoveResponse,
+    Whiten,
+    WriteOutput,
+    WriteXCorr,
+)
+from repro.workflows.seismic.phase1 import build_seismic_phase1_workflow
+from repro.workflows.seismic.phase2 import build_seismic_phase2_workflow
+from repro.workflows.seismic.waveform import synth_trace
+
+__all__ = [
+    "Bandpass",
+    "CalcFFT",
+    "CrossCorrelation",
+    "Decimate",
+    "Demean",
+    "Detrend",
+    "PairAggregator",
+    "ReadTraces",
+    "RemoveResponse",
+    "Whiten",
+    "WriteOutput",
+    "WriteXCorr",
+    "build_seismic_phase1_workflow",
+    "build_seismic_phase2_workflow",
+    "synth_trace",
+]

@@ -1,0 +1,64 @@
+"""Factory for phase 1 of the Seismic Cross-Correlation workflow."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.graph import WorkflowGraph
+from repro.workflows.seismic.pes import (
+    Bandpass,
+    CalcFFT,
+    Decimate,
+    Demean,
+    Detrend,
+    ReadTraces,
+    RemoveResponse,
+    Whiten,
+    WriteOutput,
+)
+
+#: Station count used throughout the paper's evaluation ("a consistent
+#: workload (50 stations as input) across all platforms").
+DEFAULT_STATIONS = 50
+
+
+def build_seismic_phase1_workflow(
+    stations: int = DEFAULT_STATIONS,
+    samples: int = 3000,
+    out_dir: Optional[str] = None,
+) -> Tuple[WorkflowGraph, List[int]]:
+    """Build the nine-PE phase-1 pipeline and its input stream.
+
+    Parameters
+    ----------
+    stations:
+        Number of stations to stream (paper default 50).
+    samples:
+        Raw trace length per station.
+    out_dir:
+        Output directory for the writer PE (default: per-run temp dir).
+
+    Returns
+    -------
+    (graph, inputs):
+        The workflow graph and station-index input list.
+    """
+    if stations < 1:
+        raise ValueError(f"stations must be >= 1, got {stations}")
+    graph = WorkflowGraph("seismic_phase1")
+    stages = [
+        ReadTraces(samples=samples),
+        Decimate(),
+        Detrend(),
+        Demean(),
+        RemoveResponse(),
+        Bandpass(),
+        Whiten(),
+        CalcFFT(),
+        WriteOutput(out_dir=out_dir),
+    ]
+    for pe in stages:
+        graph.add(pe)
+    for upstream, downstream in zip(stages, stages[1:]):
+        graph.connect(upstream, "output", downstream, "input")
+    return graph, list(range(stations))

@@ -1,0 +1,71 @@
+"""Factory for phase 2 (cross-correlation) of the seismic workflow.
+
+Phase 2 contains a *global* grouping (all spectra to one aggregator
+instance), which makes it stateful: plain dynamic scheduling refuses it,
+``multi`` and ``hybrid_redis`` enact it.  The paper keeps phase 2 out of
+its figures for exactly that reason; we include it as an additional
+stateful test-bed beyond the sentiment workflow.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.graph import WorkflowGraph
+from repro.workflows.seismic.pes import (
+    Bandpass,
+    CalcFFT,
+    CrossCorrelation,
+    Decimate,
+    Demean,
+    Detrend,
+    PairAggregator,
+    ReadTraces,
+    RemoveResponse,
+    Whiten,
+    WriteXCorr,
+)
+
+
+def build_seismic_phase2_workflow(
+    stations: int = 12,
+    samples: int = 1500,
+    xcorr_instances: int = 2,
+) -> Tuple[WorkflowGraph, List[int]]:
+    """Build the full phase1+phase2 pipeline ending in cross-correlations.
+
+    Parameters
+    ----------
+    stations:
+        Station count (pairs grow quadratically; default is kept small).
+    samples:
+        Raw trace length per station.
+    xcorr_instances:
+        Requested instance count for the pairwise correlation PE.
+    """
+    if stations < 2:
+        raise ValueError("phase 2 needs at least 2 stations")
+    graph = WorkflowGraph("seismic_phase2")
+    stages = [
+        ReadTraces(samples=samples),
+        Decimate(),
+        Detrend(),
+        Demean(),
+        RemoveResponse(),
+        Bandpass(),
+        Whiten(),
+        CalcFFT(),
+    ]
+    for pe in stages:
+        graph.add(pe)
+    for upstream, downstream in zip(stages, stages[1:]):
+        graph.connect(upstream, "output", downstream, "input")
+    aggregator = graph.add(PairAggregator())
+    xcorr = CrossCorrelation()
+    xcorr.numprocesses = xcorr_instances
+    graph.add(xcorr)
+    writer = graph.add(WriteXCorr())
+    graph.connect(stages[-1], "output", aggregator, "input")
+    graph.connect(aggregator, "pairs", xcorr, "input")
+    graph.connect(xcorr, "output", writer, "input")
+    return graph, list(range(stations))

@@ -1,0 +1,82 @@
+"""Embedded mini sentiment lexicons.
+
+Offline substitutes for the AFINN lexicon (word -> integer valence in
+-5..+5) and the SentiWordNet-3 lexicon (word -> positive/negative scores in
+[0, 1]).  The vocabulary is small but covers both polarities and a band of
+neutral filler words, which is all the workflow's behaviour depends on:
+scores are summed per article and aggregated per state, so only the
+*distribution* of valences matters for the benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+#: AFINN-style lexicon: word -> valence (-5 .. +5).
+AFINN: Dict[str, int] = {
+    # strongly positive
+    "outstanding": 5, "superb": 5, "thrilled": 5, "breakthrough": 4,
+    "brilliant": 4, "delighted": 4, "excellent": 4, "wonderful": 4,
+    "amazing": 4, "triumph": 4,
+    # positive
+    "happy": 3, "joy": 3, "success": 3, "win": 3, "growth": 3,
+    "celebrate": 3, "hope": 2, "improve": 2, "progress": 2, "gain": 2,
+    "benefit": 2, "support": 2, "agree": 1, "calm": 1, "fair": 1,
+    "steady": 1, "safe": 1, "useful": 1,
+    # negative
+    "concern": -1, "doubt": -1, "slow": -1, "tired": -1, "risk": -1,
+    "problem": -2, "loss": -2, "decline": -2, "fear": -2, "worry": -2,
+    "protest": -2, "fail": -2, "dispute": -2, "cut": -1,
+    # strongly negative
+    "crisis": -3, "angry": -3, "damage": -3, "fraud": -3, "violence": -3,
+    "collapse": -3, "disaster": -4, "tragic": -4, "corruption": -4,
+    "catastrophe": -5, "horrific": -5,
+}
+
+#: SentiWordNet-style lexicon: word -> (positive score, negative score).
+SWN3: Dict[str, Tuple[float, float]] = {
+    "outstanding": (0.875, 0.0), "superb": (0.875, 0.0),
+    "thrilled": (0.75, 0.0), "breakthrough": (0.625, 0.0),
+    "brilliant": (0.75, 0.0), "delighted": (0.75, 0.0),
+    "excellent": (0.75, 0.0), "wonderful": (0.75, 0.0),
+    "amazing": (0.625, 0.0), "triumph": (0.625, 0.0),
+    "happy": (0.625, 0.0), "joy": (0.625, 0.0), "success": (0.5, 0.0),
+    "win": (0.5, 0.0), "growth": (0.375, 0.0), "celebrate": (0.5, 0.0),
+    "hope": (0.375, 0.0), "improve": (0.375, 0.0), "progress": (0.375, 0.0),
+    "gain": (0.25, 0.0), "benefit": (0.375, 0.0), "support": (0.25, 0.0),
+    "agree": (0.25, 0.0), "calm": (0.25, 0.125), "fair": (0.25, 0.0),
+    "steady": (0.125, 0.0), "safe": (0.25, 0.0), "useful": (0.25, 0.0),
+    "concern": (0.0, 0.375), "doubt": (0.0, 0.375), "slow": (0.0, 0.25),
+    "tired": (0.0, 0.375), "risk": (0.0, 0.375), "problem": (0.0, 0.5),
+    "loss": (0.0, 0.5), "decline": (0.0, 0.5), "fear": (0.0, 0.625),
+    "worry": (0.0, 0.5), "protest": (0.0, 0.375), "fail": (0.0, 0.625),
+    "dispute": (0.0, 0.375), "cut": (0.0, 0.25),
+    "crisis": (0.0, 0.625), "angry": (0.0, 0.75), "damage": (0.0, 0.625),
+    "fraud": (0.0, 0.75), "violence": (0.0, 0.75), "collapse": (0.0, 0.625),
+    "disaster": (0.0, 0.875), "tragic": (0.0, 0.875),
+    "corruption": (0.0, 0.75), "catastrophe": (0.0, 1.0),
+    "horrific": (0.0, 1.0),
+}
+
+#: Neutral filler vocabulary used by the synthetic article generator.
+NEUTRAL_WORDS: Tuple[str, ...] = (
+    "the", "a", "of", "in", "on", "city", "council", "report", "today",
+    "officials", "company", "market", "local", "state", "year", "week",
+    "announced", "meeting", "people", "new", "plan", "project", "area",
+    "residents", "government", "policy", "data", "study", "budget",
+    "industry", "services", "community", "program", "development",
+)
+
+
+def afinn_score(tokens: Iterable[str]) -> int:
+    """Summed AFINN valence of a token stream."""
+    return sum(AFINN.get(token, 0) for token in tokens)
+
+
+def swn3_score(tokens: Iterable[str]) -> float:
+    """Summed (positive - negative) SentiWordNet score of a token stream."""
+    total = 0.0
+    for token in tokens:
+        pos, neg = SWN3.get(token, (0.0, 0.0))
+        total += pos - neg
+    return total

@@ -1,0 +1,20 @@
+"""Word tokenizer for the sentiment workflow (the ``tokenize WD`` PE core)."""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+_WORD_RE = re.compile(r"[a-z0-9']+")
+
+
+def tokenize(text: str) -> List[str]:
+    """Lower-case word tokens, punctuation stripped.
+
+    Matches what the original workflow's word tokenizer produces for
+    English news prose: maximal runs of alphanumerics/apostrophes over the
+    lower-cased text.
+    """
+    if not isinstance(text, str):
+        raise TypeError(f"expected str, got {type(text).__name__}")
+    return _WORD_RE.findall(text.lower())

@@ -1,0 +1,180 @@
+"""Tests for the Algorithm 1 auto-scaler."""
+
+import threading
+import time
+
+import pytest
+
+from repro.autoscale.autoscaler import Autoscaler
+from repro.autoscale.strategies import QueueSizeStrategy, ScalingStrategy
+from repro.runtime.clock import Clock
+from repro.runtime.workers import WorkerPool
+
+
+class FixedStrategy(ScalingStrategy):
+    """Always returns a canned decision."""
+
+    metric_name = "fixed"
+
+    def __init__(self, decision):
+        self.decision = decision
+
+    def decide(self, observation):
+        return self.decision
+
+
+@pytest.fixture
+def pool():
+    p = WorkerPool(4, name="scaler-test")
+    yield p
+    p.close()
+    p.join()
+
+
+def make_scaler(pool, strategy=None, monitor=lambda: 0.0, **kw):
+    return Autoscaler(
+        pool,
+        strategy or FixedStrategy(0),
+        monitor=monitor,
+        clock=Clock(0.001),
+        **kw,
+    )
+
+
+class TestConstruction:
+    def test_default_active_is_half_pool(self, pool):
+        assert make_scaler(pool).active_size == 2
+
+    def test_initial_active_clamped(self, pool):
+        with pytest.raises(ValueError):
+            make_scaler(pool, initial_active=9)
+        with pytest.raises(ValueError):
+            make_scaler(pool, initial_active=0)
+
+    def test_min_active_validated(self, pool):
+        with pytest.raises(ValueError):
+            make_scaler(pool, min_active=0)
+
+    def test_negative_interval_rejected(self, pool):
+        with pytest.raises(ValueError):
+            make_scaler(pool, scale_interval=-1)
+
+
+class TestGrowShrink:
+    def test_grow_caps_at_pool(self, pool):
+        scaler = make_scaler(pool)
+        scaler.grow(100)
+        assert scaler.active_size == 4
+
+    def test_shrink_floors_at_min(self, pool):
+        scaler = make_scaler(pool, min_active=2)
+        scaler.shrink(100)
+        assert scaler.active_size == 2
+
+    def test_auto_scale_applies_strategy(self, pool):
+        scaler = make_scaler(pool, strategy=FixedStrategy(+1))
+        before = scaler.active_size
+        scaler.auto_scale()
+        assert scaler.active_size == before + 1
+
+    def test_auto_scale_records_trace(self, pool):
+        scaler = make_scaler(pool, strategy=FixedStrategy(-1), monitor=lambda: 7.0)
+        scaler.auto_scale()
+        [point] = scaler.trace.points
+        assert point.metric == 7.0
+        assert point.decision == -1
+
+
+class TestStartDoneGate:
+    def test_start_runs_session(self, pool):
+        scaler = make_scaler(pool)
+        done = threading.Event()
+        assert scaler.start(done.set)
+        assert done.wait(timeout=2)
+        scaler.wait_all_done(timeout=2)
+        assert scaler.active_count == 0
+
+    def test_gate_blocks_at_active_size(self, pool):
+        scaler = make_scaler(pool, initial_active=1)
+        release = threading.Event()
+
+        def long_session():
+            release.wait(timeout=5)
+
+        assert scaler.start(long_session)
+        # Second start must block until we grow or the session ends.
+        started_second = threading.Event()
+
+        def try_second():
+            scaler.start(lambda: None)
+            started_second.set()
+
+        t = threading.Thread(target=try_second)
+        t.start()
+        time.sleep(0.05)
+        assert not started_second.is_set()  # still gated
+        scaler.grow(1)  # open the gate
+        assert started_second.wait(timeout=2)
+        release.set()
+        t.join(timeout=2)
+        scaler.wait_all_done(timeout=2)
+
+    def test_stop_unblocks_start(self, pool):
+        scaler = make_scaler(pool, initial_active=1)
+        release = threading.Event()
+        scaler.start(lambda: release.wait(timeout=5))
+        returned = []
+
+        def blocked_start():
+            returned.append(scaler.start(lambda: None))
+
+        t = threading.Thread(target=blocked_start)
+        t.start()
+        time.sleep(0.02)
+        scaler.stop()
+        t.join(timeout=2)
+        assert returned == [False]
+        release.set()
+        scaler.wait_all_done(timeout=2)
+
+
+class TestProcessLoop:
+    def test_process_until_terminated(self, pool):
+        """The central Algorithm 1 loop: dispatch sessions until the
+        termination condition holds."""
+        work = {"remaining": 10}
+        lock = threading.Lock()
+
+        def session():
+            with lock:
+                if work["remaining"] > 0:
+                    work["remaining"] -= 1
+
+        def terminated():
+            with lock:
+                return work["remaining"] == 0
+
+        scaler = make_scaler(
+            pool,
+            strategy=QueueSizeStrategy(),
+            monitor=lambda: work["remaining"],
+            scale_interval=0.0,
+        )
+        scaler.process(session, terminated)
+        assert work["remaining"] == 0
+        assert len(scaler.trace) >= 1
+
+    def test_shrinks_to_floor_on_empty_monitor(self, pool):
+        scaler = make_scaler(
+            pool,
+            strategy=QueueSizeStrategy(),
+            monitor=lambda: 0.0,
+            scale_interval=0.0,
+        )
+        counter = {"n": 0}
+
+        def session():
+            counter["n"] += 1
+
+        scaler.process(session, lambda: counter["n"] >= 5)
+        assert scaler.active_size == scaler.min_active

@@ -1,0 +1,59 @@
+"""Tests for the scaling trace (Figure 13 data)."""
+
+from repro.autoscale.trace import ScalingTrace, TracePoint
+
+
+def _fill(trace, rows):
+    for active, metric, decision in rows:
+        trace.record(timestamp=0.0, active_size=active, metric=metric, decision=decision)
+
+
+class TestScalingTrace:
+    def test_iterations_sequential(self):
+        trace = ScalingTrace()
+        _fill(trace, [(1, 0.0, 0), (2, 1.0, 1), (1, 0.0, -1)])
+        assert [p.iteration for p in trace.points] == [0, 1, 2]
+
+    def test_len(self):
+        trace = ScalingTrace()
+        _fill(trace, [(1, 0.0, 0)] * 4)
+        assert len(trace) == 4
+
+    def test_changes_filters_repeated_metrics(self):
+        """Figure 13's x-axis records iterations where the metric changed."""
+        trace = ScalingTrace()
+        _fill(trace, [(1, 5.0, 0), (2, 5.0, 1), (3, 7.0, 1), (3, 7.0, 0), (2, 5.0, -1)])
+        changed = trace.changes()
+        assert [p.metric for p in changed] == [5.0, 7.0, 5.0]
+
+    def test_series_shapes(self):
+        trace = ScalingTrace("queue size")
+        _fill(trace, [(1, 5.0, 0), (2, 6.0, 1)])
+        iterations, actives, metrics = trace.series(changes_only=False)
+        assert iterations == [0, 1]
+        assert actives == [1, 2]
+        assert metrics == [5.0, 6.0]
+
+    def test_min_max_active(self):
+        trace = ScalingTrace()
+        _fill(trace, [(3, 0, 0), (7, 0, 1), (2, 0, -1)])
+        assert trace.max_active() == 7
+        assert trace.min_active() == 2
+
+    def test_empty_trace(self):
+        trace = ScalingTrace()
+        assert trace.max_active() == 0
+        assert trace.changes() == []
+        assert trace.series() == ([], [], [])
+
+    def test_point_is_frozen(self):
+        point = TracePoint(0, 0.0, 1, 2.0, 0)
+        try:
+            point.active_size = 5
+            mutated = True
+        except AttributeError:
+            mutated = False
+        assert not mutated
+
+    def test_metric_name_kept(self):
+        assert ScalingTrace("avg idle time (ms)").metric_name == "avg idle time (ms)"

@@ -1,0 +1,76 @@
+"""Tests for the shape-assertion helpers."""
+
+from repro.bench.reporting import (
+    autoscaling_saves_process_time,
+    mapping_dominates,
+    process_time_increases_with_processes,
+    redis_slower_than_multiprocessing,
+    runtimes_decrease_with_processes,
+)
+from repro.metrics.ratios import grid_from_results
+from repro.metrics.result import RunResult
+
+
+def result(mapping, processes, runtime, process_time):
+    return RunResult(
+        mapping=mapping, workflow="wf", processes=processes,
+        runtime=runtime, process_time=process_time,
+    )
+
+
+class TestShapeHelpers:
+    def test_runtime_decrease_pass(self):
+        grid = grid_from_results(
+            [result("m", 2, 10.0, 1), result("m", 4, 6.0, 1), result("m", 8, 4.0, 1)]
+        )
+        assert runtimes_decrease_with_processes(grid, "m")
+
+    def test_runtime_decrease_allows_noise(self):
+        grid = grid_from_results(
+            [result("m", 2, 10.0, 1), result("m", 4, 11.0, 1), result("m", 8, 5.0, 1)]
+        )
+        assert runtimes_decrease_with_processes(grid, "m")
+
+    def test_runtime_decrease_fails_on_regression(self):
+        grid = grid_from_results(
+            [result("m", 2, 5.0, 1), result("m", 4, 20.0, 1)]
+        )
+        assert not runtimes_decrease_with_processes(grid, "m")
+
+    def test_process_time_increase(self):
+        grid = grid_from_results(
+            [result("m", 2, 1, 10.0), result("m", 8, 1, 40.0)]
+        )
+        assert process_time_increases_with_processes(grid, "m")
+
+    def test_autoscaling_saves(self):
+        grid = grid_from_results(
+            [
+                result("dyn_multi", 5, 10, 50),
+                result("dyn_auto_multi", 5, 11, 30),
+            ]
+        )
+        assert autoscaling_saves_process_time(grid, "dyn_auto_multi", "dyn_multi")
+
+    def test_mapping_dominates(self):
+        grid = grid_from_results(
+            [
+                result("fast", 5, 3.0, 1),
+                result("slow", 5, 9.0, 1),
+                result("fast", 10, 2.0, 1),
+                result("slow", 10, 7.0, 1),
+            ]
+        )
+        assert mapping_dominates(grid, "fast", "slow", [5, 10])
+        assert not mapping_dominates(grid, "slow", "fast", [5, 10])
+
+    def test_redis_slower(self):
+        grid = grid_from_results(
+            [
+                result("dyn_multi", 5, 5.0, 1),
+                result("dyn_redis", 5, 8.0, 1),
+                result("dyn_auto_multi", 5, 6.0, 1),
+                result("dyn_auto_redis", 5, 9.0, 1),
+            ]
+        )
+        assert redis_slower_than_multiprocessing(grid, [5])

@@ -1,0 +1,114 @@
+"""Tests for ConcreteWorkflow routing."""
+
+import pytest
+
+from repro.core.concrete import ConcreteWorkflow, EdgeRouter, instance_id
+from repro.core.exceptions import GraphError
+from repro.core.graph import Edge, WorkflowGraph
+from repro.core.groupings import GroupBy, OneToAll, Shuffle
+from tests.conftest import Collect, Double, Emit, StatefulCounter, linear_graph
+
+
+class TestInstanceId:
+    def test_format(self):
+        assert instance_id("pe", 3) == "pe.3"
+
+
+class TestEdgeRouter:
+    def _edge(self):
+        return Edge(src="a", src_port="output", dst="b", dst_port="input")
+
+    def test_shuffle_round_robin_per_source(self):
+        router = EdgeRouter(self._edge(), Shuffle(), n_dst=3)
+        picks_a = [router.route("a.0", None)[0].dst_index for _ in range(3)]
+        picks_b = [router.route("a.1", None)[0].dst_index for _ in range(3)]
+        assert picks_a == [0, 1, 2]
+        assert picks_b == [0, 1, 2]  # independent counters per source
+
+    def test_groupby_routing(self):
+        router = EdgeRouter(self._edge(), GroupBy([0]), n_dst=4)
+        a = router.route("a.0", ("TX", 1))[0].dst_index
+        b = router.route("a.0", ("TX", 2))[0].dst_index
+        assert a == b
+
+    def test_broadcast_fanout(self):
+        router = EdgeRouter(self._edge(), OneToAll(), n_dst=3)
+        deliveries = router.route("a.0", "x")
+        assert [d.dst_index for d in deliveries] == [0, 1, 2]
+        assert all(d.dst == "b" and d.dst_port == "input" for d in deliveries)
+
+    def test_default_grouping_is_shuffle(self):
+        router = EdgeRouter(self._edge(), None, n_dst=2)
+        assert isinstance(router.grouping, Shuffle)
+
+    def test_zero_instances_rejected(self):
+        with pytest.raises(GraphError):
+            EdgeRouter(self._edge(), Shuffle(), n_dst=0)
+
+
+class TestConcreteWorkflow:
+    def _graph(self):
+        return linear_graph(Emit(name="src"), Double(name="mid"), Collect(name="sink"))
+
+    def test_from_static_uses_figure1_rule(self):
+        cw = ConcreteWorkflow.from_static(self._graph(), 5)
+        assert cw.allocation == {"src": 1, "mid": 2, "sink": 2}
+        assert cw.total_instances() == 5
+
+    def test_single_instance(self):
+        cw = ConcreteWorkflow.single_instance(self._graph())
+        assert set(cw.allocation.values()) == {1}
+
+    def test_instances_of(self):
+        cw = ConcreteWorkflow.from_static(self._graph(), 5)
+        assert cw.instances_of("mid") == ["mid.0", "mid.1"]
+
+    def test_all_instances_topological(self):
+        cw = ConcreteWorkflow.from_static(self._graph(), 5)
+        names = [name for name, _ in cw.all_instances()]
+        assert names.index("src") < names.index("mid") < names.index("sink")
+
+    def test_route_output_shuffles_over_instances(self):
+        cw = ConcreteWorkflow.from_static(self._graph(), 5)
+        targets = [
+            cw.route_output("src", 0, "output", i)[0].dst_index for i in range(4)
+        ]
+        assert targets == [0, 1, 0, 1]
+
+    def test_route_output_fanout_edges(self):
+        g = WorkflowGraph("fan")
+        a = Emit(name="a")
+        g.connect(a, "output", Double(name="b"), "input")
+        g.connect(a, "output", Double(name="c"), "input")
+        cw = ConcreteWorkflow.single_instance(g)
+        deliveries = cw.route_output("a", 0, "output", 7)
+        assert {d.dst for d in deliveries} == {"b", "c"}
+
+    def test_route_respects_group_by(self):
+        g = WorkflowGraph("g")
+        counter = StatefulCounter(name="counter", instances=4)
+        g.connect(Emit(name="src"), "output", counter, "input")
+        cw = ConcreteWorkflow(g, {"src": 1, "counter": 4})
+        a = cw.route_output("src", 0, "output", ("KEY", 1))[0].dst_index
+        b = cw.route_output("src", 0, "output", ("KEY", 2))[0].dst_index
+        assert a == b
+
+    def test_missing_allocation_rejected(self):
+        with pytest.raises(GraphError):
+            ConcreteWorkflow(self._graph(), {"src": 1, "mid": 1, "sink": 0})
+
+    def test_connected_port_routes_downstream(self):
+        cw = ConcreteWorkflow.from_static(self._graph(), 5)
+        deliveries = cw.route_output("mid", 0, "output", 1)
+        assert deliveries[0].dst == "sink"
+
+    def test_unconnected_port_routes_nowhere(self):
+        g = WorkflowGraph("g")
+        g.connect(Emit(name="a"), "output", Double(name="b"), "input")
+        cw = ConcreteWorkflow.single_instance(g)
+        # b's output port has no outgoing edge: nothing to route.
+        assert cw.route_output("b", 0, "output", 1) == []
+
+    def test_repr(self):
+        cw = ConcreteWorkflow.from_static(self._graph(), 5)
+        assert "instances=5" in repr(cw)

@@ -1,0 +1,53 @@
+"""Tests for the execution context."""
+
+import copy
+import time
+
+import pytest
+
+from repro.core.context import ExecutionContext
+from repro.runtime.clock import Clock
+from repro.runtime.cores import CoreLimiter
+
+
+class TestExecutionContext:
+    def test_defaults(self):
+        ctx = ExecutionContext()
+        assert ctx.clock.time_scale == 1.0
+        assert ctx.cores.cores is None
+        assert ctx.cpu_speed == 1.0
+
+    def test_invalid_speed(self):
+        with pytest.raises(ValueError):
+            ExecutionContext(cpu_speed=0)
+
+    def test_rng_deterministic_per_instance(self):
+        ctx = ExecutionContext(seed=5)
+        a1 = ctx.rng_for("pe.0").random()
+        a2 = ExecutionContext(seed=5).rng_for("pe.0").random()
+        assert a1 == a2
+
+    def test_rng_differs_between_instances(self):
+        ctx = ExecutionContext(seed=5)
+        assert ctx.rng_for("pe.0").random() != ctx.rng_for("pe.1").random()
+
+    def test_rng_differs_between_seeds(self):
+        a = ExecutionContext(seed=1).rng_for("pe.0").random()
+        b = ExecutionContext(seed=2).rng_for("pe.0").random()
+        assert a != b
+
+    def test_compute_scaled_by_speed(self):
+        slow = ExecutionContext(clock=Clock(0.01), cpu_speed=0.5)
+        start = time.monotonic()
+        slow.compute(1.0)  # 1 nominal / 0.5 speed * 0.01 = 20 ms
+        assert time.monotonic() - start >= 0.015
+
+    def test_io_wait_does_not_take_core(self):
+        limiter = CoreLimiter(1)
+        ctx = ExecutionContext(clock=Clock(0.001), cores=limiter)
+        with limiter.core():  # core busy
+            ctx.io_wait(1.0)  # must not deadlock
+
+    def test_deepcopy_is_identity(self):
+        ctx = ExecutionContext()
+        assert copy.deepcopy(ctx) is ctx

@@ -1,0 +1,164 @@
+"""Tests for WorkflowGraph structure and validation."""
+
+import pytest
+
+from repro.core.exceptions import GraphError, PortError, ValidationError
+from repro.core.graph import WorkflowGraph
+from tests.conftest import AddOne, Collect, Double, Emit, StatefulCounter, linear_graph
+
+
+class TestBuild:
+    def test_add_and_lookup(self):
+        g = WorkflowGraph("g")
+        pe = g.add(Emit(name="e"))
+        assert g.pe("e") is pe
+
+    def test_duplicate_name_rejected(self):
+        g = WorkflowGraph("g")
+        g.add(Emit(name="same"))
+        with pytest.raises(GraphError):
+            g.add(Double(name="same"))
+
+    def test_re_add_same_pe_ok(self):
+        g = WorkflowGraph("g")
+        pe = Emit(name="e")
+        g.add(pe)
+        g.add(pe)
+        assert len(g.pes) == 1
+
+    def test_add_non_pe_rejected(self):
+        with pytest.raises(GraphError):
+            WorkflowGraph("g").add("not a pe")
+
+    def test_connect_autoregisters(self):
+        g = WorkflowGraph("g")
+        a, b = Emit(name="a"), Emit(name="b")
+        g.connect(a, "output", b, "input")
+        assert set(g.pes) == {"a", "b"}
+
+    def test_connect_by_name(self):
+        g = WorkflowGraph("g")
+        g.add(Emit(name="a"))
+        g.add(Emit(name="b"))
+        edge = g.connect("a", "output", "b", "input")
+        assert edge.src == "a" and edge.dst == "b"
+
+    def test_connect_unknown_name(self):
+        g = WorkflowGraph("g")
+        with pytest.raises(GraphError):
+            g.connect("ghost", "output", Emit(), "input")
+
+    def test_bad_src_port(self):
+        g = WorkflowGraph("g")
+        with pytest.raises(PortError):
+            g.connect(Emit(name="a"), "nope", Emit(name="b"), "input")
+
+    def test_bad_dst_port(self):
+        g = WorkflowGraph("g")
+        with pytest.raises(PortError):
+            g.connect(Emit(name="a"), "output", Emit(name="b"), "nope")
+
+    def test_pe_lookup_unknown(self):
+        with pytest.raises(GraphError):
+            WorkflowGraph("g").pe("ghost")
+
+
+class TestStructure:
+    def test_roots_and_sinks(self):
+        g = linear_graph(Emit(name="a"), Double(name="b"), Collect(name="c"))
+        assert [pe.name for pe in g.roots()] == ["a"]
+        assert [pe.name for pe in g.sinks()] == ["c"]
+
+    def test_out_edges_filtered_by_port(self):
+        g = WorkflowGraph("g")
+        a = Emit(name="a")
+        g.connect(a, "output", Emit(name="b"), "input")
+        g.connect(a, "output", Emit(name="c"), "input")
+        assert len(g.out_edges("a", "output")) == 2
+        assert g.out_edges("a", "bogus") == []
+
+    def test_in_edges(self):
+        g = WorkflowGraph("g")
+        a, b, c = Emit(name="a"), Emit(name="b"), Emit(name="c")
+        g.connect(a, "output", c, "input")
+        g.connect(b, "output", c, "input")
+        assert len(g.in_edges("c")) == 2
+
+    def test_topological_order(self):
+        g = linear_graph(Emit(name="a"), Emit(name="b"), Emit(name="c"))
+        assert g.topological_order() == ["a", "b", "c"]
+
+    def test_to_networkx_shape(self):
+        g = linear_graph(Emit(name="a"), Emit(name="b"))
+        nxg = g.to_networkx()
+        assert nxg.number_of_nodes() == 2
+        assert nxg.number_of_edges() == 1
+
+
+class TestEffectiveGrouping:
+    def test_edge_grouping_overrides_port(self):
+        g = WorkflowGraph("g")
+        counter = StatefulCounter(name="c")  # port declares group-by [0]
+        edge = g.connect(Emit(name="a"), "output", counter, "input", grouping="global")
+        grouping = g.effective_grouping(edge)
+        assert type(grouping).__name__ == "AllToOne"
+
+    def test_port_grouping_used_when_edge_silent(self):
+        g = WorkflowGraph("g")
+        counter = StatefulCounter(name="c")
+        edge = g.connect(Emit(name="a"), "output", counter, "input")
+        assert type(g.effective_grouping(edge)).__name__ == "GroupBy"
+
+
+class TestStatefulDetection:
+    def test_stateless_graph(self):
+        g = linear_graph(Emit(name="a"), Double(name="b"))
+        assert not g.is_stateful()
+        assert g.stateful_pes() == []
+
+    def test_grouping_makes_stateful(self):
+        g = WorkflowGraph("g")
+        counter = StatefulCounter(name="c")
+        g.connect(Emit(name="a"), "output", counter, "input")
+        assert g.is_stateful()
+        assert [pe.name for pe in g.stateful_pes()] == ["c"]
+
+    def test_edge_grouping_makes_stateful(self):
+        g = WorkflowGraph("g")
+        g.connect(Emit(name="a"), "output", Double(name="b"), "input", grouping=[0])
+        assert g.is_stateful()
+
+
+class TestValidation:
+    def test_empty_graph_invalid(self):
+        with pytest.raises(ValidationError):
+            WorkflowGraph("g").validate()
+
+    def test_single_pe_valid(self):
+        g = WorkflowGraph("g")
+        g.add(Emit(name="only"))
+        g.validate()
+
+    def test_cycle_detected(self):
+        g = WorkflowGraph("g")
+        a, b = Emit(name="a"), Emit(name="b")
+        g.connect(a, "output", b, "input")
+        g.connect(b, "output", a, "input")
+        with pytest.raises(ValidationError):
+            g.validate()
+
+    def test_disconnected_pe_invalid(self):
+        g = WorkflowGraph("g")
+        g.connect(Emit(name="a"), "output", Emit(name="b"), "input")
+        g.add(Emit(name="stray"))
+        with pytest.raises(ValidationError):
+            g.validate()
+
+    def test_root_with_input_port_is_valid(self):
+        """Roots declare input ports (the engine drives them)."""
+        g = linear_graph(AddOne(name="src"), Collect(name="sink"))
+        g.validate()
+
+    def test_repr(self):
+        g = linear_graph(Emit(name="a"), Emit(name="b"))
+        assert "pes=2" in repr(g)

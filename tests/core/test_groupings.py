@@ -1,0 +1,124 @@
+"""Tests for groupings and the shorthand coercion."""
+
+import pytest
+
+from repro.core.groupings import (
+    AllToOne,
+    GroupBy,
+    Grouping,
+    OneToAll,
+    Shuffle,
+    as_grouping,
+)
+
+
+class TestShuffle:
+    def test_round_robin(self):
+        g = Shuffle()
+        state = g.new_state()
+        picks = [g.route(None, 3, state)[0] for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_requires_state(self):
+        with pytest.raises(ValueError):
+            Shuffle().route(None, 2, None)
+
+    def test_not_stateful(self):
+        assert not Shuffle().requires_state
+
+
+class TestGroupBy:
+    def test_same_key_same_instance(self):
+        g = GroupBy([0])
+        a = g.route(("CA", 1), 4, None)
+        b = g.route(("CA", 99), 4, None)
+        assert a == b
+
+    def test_different_keys_spread(self):
+        g = GroupBy([0])
+        targets = {g.route((k, 0), 8, None)[0] for k in range(64)}
+        assert len(targets) > 1
+
+    def test_multiple_key_indices(self):
+        g = GroupBy([0, 1])
+        assert g.route((1, 2, "x"), 4, None) == g.route((1, 2, "y"), 4, None)
+
+    def test_string_keys_on_dicts(self):
+        g = GroupBy(["state"])
+        a = g.route({"state": "TX", "v": 1}, 4, None)
+        b = g.route({"state": "TX", "v": 2}, 4, None)
+        assert a == b
+
+    def test_callable_key(self):
+        g = GroupBy(lambda d: d["k"] % 2)
+        assert g.route({"k": 2}, 4, None) == g.route({"k": 4}, 4, None)
+
+    def test_empty_keys_rejected(self):
+        with pytest.raises(ValueError):
+            GroupBy([])
+
+    def test_stable_across_instances(self):
+        """Routing must be identical for two GroupBy objects with the same
+        spec -- dynamic workers each hold their own copy."""
+        assert GroupBy([0]).route(("NY", 0), 5, None) == GroupBy([0]).route(
+            ("NY", 1), 5, None
+        )
+
+    def test_is_stateful(self):
+        assert GroupBy([0]).requires_state
+
+    def test_single_instance_always_zero(self):
+        g = GroupBy([0])
+        assert g.route(("anything", 1), 1, None) == [0]
+
+
+class TestAllToOneAndOneToAll:
+    def test_global_targets_instance_zero(self):
+        assert AllToOne().route("x", 7, None) == [0]
+
+    def test_broadcast_targets_everyone(self):
+        assert OneToAll().route("x", 3, None) == [0, 1, 2]
+
+    def test_both_stateful(self):
+        assert AllToOne().requires_state
+        assert OneToAll().requires_state
+
+
+class TestAsGrouping:
+    def test_none_is_shuffle(self):
+        assert isinstance(as_grouping(None), Shuffle)
+
+    @pytest.mark.parametrize("name", ["shuffle", "round_robin", "none"])
+    def test_shuffle_names(self, name):
+        assert isinstance(as_grouping(name), Shuffle)
+
+    @pytest.mark.parametrize("name", ["global", "all_to_one"])
+    def test_global_names(self, name):
+        assert isinstance(as_grouping(name), AllToOne)
+
+    @pytest.mark.parametrize("name", ["one_to_all", "broadcast", "all"])
+    def test_broadcast_names(self, name):
+        assert isinstance(as_grouping(name), OneToAll)
+
+    def test_list_becomes_groupby(self):
+        g = as_grouping([0])
+        assert isinstance(g, GroupBy)
+
+    def test_callable_becomes_groupby(self):
+        assert isinstance(as_grouping(lambda d: d), GroupBy)
+
+    def test_existing_grouping_passthrough(self):
+        g = GroupBy([1])
+        assert as_grouping(g) is g
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            as_grouping("banana")
+
+    def test_bad_type_raises(self):
+        with pytest.raises(TypeError):
+            as_grouping(3.14)
+
+    def test_base_class_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Grouping().route(None, 1, None)

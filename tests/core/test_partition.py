@@ -1,0 +1,91 @@
+"""Tests for the static instance allocation rule (Figure 1)."""
+
+import pytest
+
+from repro.core.exceptions import InsufficientProcessesError
+from repro.core.partition import allocate_instances, minimum_processes
+from tests.conftest import Collect, Double, Emit, StatefulCounter, linear_graph
+from repro.workflows.sentiment.workflow import build_sentiment_workflow
+
+
+class TestFigureOneRule:
+    def test_paper_example_12_processes_4_pes(self):
+        """Figure 1: 12 processes, 4 PEs -> source 1, others 3 each, 2 idle."""
+        g = linear_graph(
+            Emit(name="p1"), Emit(name="p2"), Emit(name="p3"), Collect(name="p4")
+        )
+        allocation, idle = allocate_instances(g, 12)
+        assert allocation == {"p1": 1, "p2": 3, "p3": 3, "p4": 3}
+        assert idle == 2
+
+    def test_exact_fit_no_idle(self):
+        g = linear_graph(Emit(name="a"), Emit(name="b"), Emit(name="c"))
+        allocation, idle = allocate_instances(g, 5)
+        assert allocation == {"a": 1, "b": 2, "c": 2}
+        assert idle == 0
+
+    def test_minimum_is_one_each(self):
+        g = linear_graph(Emit(name="a"), Emit(name="b"), Emit(name="c"))
+        allocation, idle = allocate_instances(g, 3)
+        assert allocation == {"a": 1, "b": 1, "c": 1}
+        assert idle == 0
+
+    def test_below_minimum_raises(self):
+        g = linear_graph(Emit(name="a"), Emit(name="b"), Emit(name="c"))
+        with pytest.raises(InsufficientProcessesError):
+            allocate_instances(g, 2)
+
+    def test_zero_processes_rejected(self):
+        g = linear_graph(Emit(name="a"), Emit(name="b"))
+        with pytest.raises(InsufficientProcessesError):
+            allocate_instances(g, 0)
+
+
+class TestPins:
+    def test_numprocesses_honoured(self):
+        g = linear_graph(Emit(name="a"), Double(name="b"), Collect(name="c"))
+        g.pe("b").numprocesses = 4
+        allocation, idle = allocate_instances(g, 8)
+        assert allocation["b"] == 4
+        assert allocation["a"] == 1
+        assert allocation["c"] == 3
+        assert idle == 0
+
+    def test_stateful_counter_pin(self):
+        g = linear_graph(Emit(name="a"), StatefulCounter(name="s", instances=3))
+        allocation, _ = allocate_instances(g, 4)
+        assert allocation == {"a": 1, "s": 3}
+
+    def test_pins_make_minimum_grow(self):
+        g = linear_graph(Emit(name="a"), StatefulCounter(name="s", instances=3))
+        assert minimum_processes(g) == 4
+        with pytest.raises(InsufficientProcessesError):
+            allocate_instances(g, 3)
+
+    def test_invalid_pin(self):
+        g = linear_graph(Emit(name="a"), Emit(name="b"))
+        g.pe("b").numprocesses = 0
+        with pytest.raises(InsufficientProcessesError):
+            allocate_instances(g, 4)
+
+
+class TestPaperWorkflowMinimums:
+    def test_sentiment_minimum_is_14(self):
+        """Section 5.4: 'multi demands a minimum of 14 processes'."""
+        graph, _inputs = build_sentiment_workflow(articles=1)
+        assert minimum_processes(graph) == 14
+
+    def test_sentiment_allocation_at_16(self):
+        graph, _inputs = build_sentiment_workflow(articles=1)
+        allocation, idle = allocate_instances(graph, 16)
+        assert allocation["happyState"] == 4
+        assert allocation["top3Happiest"] == 2
+        assert allocation["readArticles"] == 1
+        assert idle >= 0
+
+    def test_all_pins_only_graph(self):
+        g = linear_graph(Emit(name="a"), StatefulCounter(name="s", instances=2))
+        g.pe("a").numprocesses = 1
+        allocation, idle = allocate_instances(g, 5)
+        assert allocation == {"a": 1, "s": 2}
+        assert idle == 2

@@ -1,0 +1,65 @@
+"""Property-based tests for grouping invariants (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.groupings import AllToOne, GroupBy, OneToAll, Shuffle
+
+keys = st.one_of(st.integers(), st.text(max_size=12), st.tuples(st.integers(), st.text(max_size=4)))
+
+
+class TestGroupByProperties:
+    @given(key=keys, n=st.integers(min_value=1, max_value=64))
+    def test_target_in_range(self, key, n):
+        g = GroupBy([0])
+        [target] = g.route((key, "payload"), n, None)
+        assert 0 <= target < n
+
+    @given(key=keys, n=st.integers(min_value=1, max_value=64))
+    def test_deterministic(self, key, n):
+        g = GroupBy([0])
+        assert g.route((key, 1), n, None) == g.route((key, 2), n, None)
+
+    @given(
+        data=st.lists(st.tuples(keys, st.integers()), min_size=1, max_size=100),
+        n=st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=50)
+    def test_partition_property(self, data, n):
+        """Equal keys never split across instances -- the invariant stateful
+        correctness rests on."""
+        g = GroupBy([0])
+        targets = {}
+        for item in data:
+            [t] = g.route(item, n, None)
+            previous = targets.setdefault(item[0], t)
+            assert previous == t
+
+
+class TestShuffleProperties:
+    @given(n=st.integers(min_value=1, max_value=32), k=st.integers(min_value=1, max_value=200))
+    @settings(max_examples=50)
+    def test_balanced_within_one(self, n, k):
+        """Round-robin spreads k items over n instances within a delta of 1."""
+        g = Shuffle()
+        state = g.new_state()
+        counts = [0] * n
+        for _ in range(k):
+            [t] = g.route(None, n, state)
+            counts[t] += 1
+        assert max(counts) - min(counts) <= 1
+
+    @given(n=st.integers(min_value=1, max_value=32))
+    def test_first_pick_is_zero(self, n):
+        g = Shuffle()
+        assert g.route(None, n, g.new_state()) == [0]
+
+
+class TestGlobalAndBroadcastProperties:
+    @given(n=st.integers(min_value=1, max_value=64), key=keys)
+    def test_global_always_zero(self, n, key):
+        assert AllToOne().route(key, n, None) == [0]
+
+    @given(n=st.integers(min_value=1, max_value=64), key=keys)
+    def test_broadcast_covers_all(self, n, key):
+        assert OneToAll().route(key, n, None) == list(range(n))

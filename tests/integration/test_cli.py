@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCliList:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "galaxy" in out
+        assert "dyn_auto_multi" in out
+        assert "fig08" in out
+
+
+class TestCliRun:
+    def test_run_galaxy(self, capsys):
+        code = main(
+            [
+                "run", "galaxy",
+                "--mapping", "dyn_multi",
+                "--processes", "4",
+                "--time-scale", "0.002",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "runtime" in out
+        assert "internalExtinction.output: 100 items" in out
+
+    def test_run_sentiment_hybrid(self, capsys):
+        code = main(
+            [
+                "run", "sentiment",
+                "--mapping", "hybrid_redis",
+                "--processes", "8",
+                "--articles", "30",
+                "--time-scale", "0.002",
+            ]
+        )
+        assert code == 0
+        assert "top3" in capsys.readouterr().out
+
+    def test_run_auto_prints_scaler(self, capsys):
+        code = main(
+            [
+                "run", "galaxy",
+                "--mapping", "dyn_auto_multi",
+                "--processes", "4",
+                "--time-scale", "0.002",
+            ]
+        )
+        assert code == 0
+        assert "auto-scaler" in capsys.readouterr().out
+
+    def test_bad_mapping_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "galaxy", "--mapping", "warp"])
+
+    def test_bad_workflow_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "nonsense"])
+
+
+class TestCliBench:
+    def test_bench_table1_tiny(self, capsys):
+        code = main(["bench", "table1", "--time-scale", "0.001"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dyn_auto_multi/dyn_multi" in out
+        assert "[mean, std]" in out
+
+    def test_bench_unknown_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "fig99"])

@@ -1,0 +1,31 @@
+"""Smoke tests: every example script must run to completion."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+
+@pytest.mark.parametrize(
+    "script,expected",
+    [
+        ("quickstart.py", "OK (32 items)"),
+        ("galaxy_extinction.py", "auto-scaling ratios"),
+        ("seismic_xcorr.py", "strongest station pairs"),
+        ("sentiment_news.py", "top-3 happiest states"),
+        ("autoscaling_demo.py", "scaler iterations"),
+    ],
+)
+def test_example_runs(script, expected):
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, script))
+    result = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert expected in result.stdout

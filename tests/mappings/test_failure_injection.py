@@ -1,0 +1,92 @@
+"""Failure injection: worker errors must surface, not hang the run."""
+
+import pytest
+
+from repro import run
+from repro.core.exceptions import MappingError
+from repro.core.pe import IterativePE
+from tests.conftest import Double, Emit, FAST_SCALE, StatefulCounter, linear_graph
+
+
+class ExplodingPE(IterativePE):
+    """Raises on a specific payload value."""
+
+    def __init__(self, name="exploder", trigger=3):
+        super().__init__(name)
+        self.trigger = trigger
+
+    def _process(self, data):
+        if data == self.trigger:
+            raise RuntimeError(f"injected failure on {data}")
+        return data
+
+
+class TestWorkerErrors:
+    @pytest.mark.parametrize(
+        "mapping", ["simple", "multi", "dyn_multi", "dyn_auto_multi", "dyn_redis"]
+    )
+    def test_error_is_reported(self, mapping):
+        g = linear_graph(ExplodingPE(), Double(name="d"))
+        with pytest.raises(MappingError, match="injected failure"):
+            run(
+                g,
+                inputs=list(range(6)),
+                processes=3,
+                mapping=mapping,
+                time_scale=FAST_SCALE,
+            )
+
+    def test_hybrid_stateless_error_reported(self):
+        g = linear_graph(
+            ExplodingPE(trigger=("k3", 3)), StatefulCounter(name="counter", instances=2)
+        )
+        with pytest.raises(MappingError):
+            run(
+                g,
+                inputs=[(f"k{i}", i) for i in range(6)],
+                processes=4,
+                mapping="hybrid_redis",
+                time_scale=FAST_SCALE,
+            )
+
+    def test_hybrid_stateful_error_reported(self):
+        class ExplodingCounter(StatefulCounter):
+            def process(self, inputs):
+                raise RuntimeError("stateful crash")
+
+        g = linear_graph(Emit(name="src"), ExplodingCounter(name="counter", instances=2))
+        with pytest.raises(MappingError, match="worker error"):
+            run(
+                g,
+                inputs=[("a", 1)],
+                processes=4,
+                mapping="hybrid_redis",
+                time_scale=FAST_SCALE,
+                join_timeout=10.0,
+            )
+
+    @pytest.mark.parametrize("mapping", ["multi", "dyn_multi"])
+    def test_other_items_may_still_flow(self, mapping):
+        """An error on one item must not deadlock the rest of the stream."""
+        g = linear_graph(ExplodingPE(trigger=0), Double(name="d"))
+        try:
+            run(
+                g,
+                inputs=list(range(8)),
+                processes=3,
+                mapping=mapping,
+                time_scale=FAST_SCALE,
+            )
+        except MappingError:
+            pass  # expected; the point is that we got here without hanging
+
+
+class TestErrorMetadata:
+    def test_error_chain_preserves_original(self):
+        g = linear_graph(ExplodingPE(), Double(name="d"))
+        try:
+            run(g, inputs=[3], processes=2, mapping="dyn_multi", time_scale=FAST_SCALE)
+        except MappingError as exc:
+            assert isinstance(exc.__cause__, RuntimeError)
+        else:
+            pytest.fail("expected MappingError")

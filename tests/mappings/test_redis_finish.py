@@ -1,0 +1,63 @@
+"""Tests for the pipelined per-task completion path (RedisTaskBoard.finish)."""
+
+import pytest
+
+from repro.mappings.redis_tasks import RedisTaskBoard
+from repro.redisim.client import RedisClient
+from repro.redisim.server import RedisServer
+
+
+@pytest.fixture
+def board():
+    server = RedisServer()
+    board = RedisTaskBoard(RedisClient(server), namespace="fin")
+    board.setup()
+    return board
+
+
+class TestFinish:
+    def test_publishes_children_and_completes(self, board):
+        client = board.client
+        board.put(("root", None, 0))
+        [(entry_id, _task)] = board.fetch("c", client)
+        board.finish(entry_id, [("child", "input", 1), ("child", "input", 2)], client)
+        # parent completed, two children outstanding
+        assert board.outstanding() == 2
+        # parent acked: no pending entries for the consumer beyond children
+        assert client.xpending(board.stream_key, board.group)["pending"] == 0
+        fetched = board.fetch("c", client, count=2)
+        assert [t for _e, t in fetched] == [("child", "input", 1), ("child", "input", 2)]
+
+    def test_no_children_drains(self, board):
+        client = board.client
+        board.put(("leaf", "input", 9))
+        [(entry_id, _task)] = board.fetch("c", client)
+        board.finish(entry_id, [], client)
+        assert board.is_drained()
+
+    def test_atomicity_of_counter(self, board):
+        """The counter never transiently hits zero while children exist:
+        finish increments children before decrementing the parent inside
+        one transaction."""
+        client = board.client
+        board.put(("root", None, 0))
+        [(entry_id, _task)] = board.fetch("c", client)
+        board.finish(entry_id, [("child", "input", 1)], client)
+        assert board.outstanding() == 1
+        assert not board.is_drained()
+
+    def test_chain_until_drained(self, board):
+        client = board.client
+        board.put(("pe", None, 0))
+        depth = 0
+        while True:
+            fetched = board.fetch("c", client)
+            if not fetched:
+                break
+            for entry_id, task in fetched:
+                _pe, _port, value = task
+                children = [("pe", "input", value + 1)] if value < 5 else []
+                board.finish(entry_id, children, client)
+                depth = max(depth, value)
+        assert depth == 5
+        assert board.is_drained()

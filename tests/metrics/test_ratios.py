@@ -1,0 +1,76 @@
+"""Tests for the Table 1-3 ratio computation."""
+
+import pytest
+
+from repro.metrics.ratios import grid_from_results, summarize_ratios
+from repro.metrics.result import RunResult
+
+
+def result(mapping, processes, runtime, process_time):
+    return RunResult(
+        mapping=mapping,
+        workflow="wf",
+        processes=processes,
+        runtime=runtime,
+        process_time=process_time,
+    )
+
+
+@pytest.fixture
+def grid():
+    return grid_from_results(
+        [
+            result("dyn_multi", 5, 10.0, 50.0),
+            result("dyn_multi", 10, 6.0, 60.0),
+            result("dyn_multi", 15, 5.0, 75.0),
+            result("dyn_auto_multi", 5, 8.7, 38.0),  # best runtime ratio 0.87
+            result("dyn_auto_multi", 10, 6.06, 27.6),  # best pt ratio 0.46
+            result("dyn_auto_multi", 15, 6.0, 60.0),
+        ]
+    )
+
+
+class TestSummarizeRatios:
+    def test_rows_per_process_count(self, grid):
+        summary = summarize_ratios(grid, "dyn_auto_multi", "dyn_multi")
+        assert [r.processes for r in summary.rows] == [5, 10, 15]
+
+    def test_prioritized_by_runtime(self, grid):
+        """Reproduces the paper's headline row: runtime 0.87, pt 0.76."""
+        summary = summarize_ratios(grid, "dyn_auto_multi", "dyn_multi")
+        best = summary.by_runtime
+        assert best.processes == 5
+        assert best.runtime_ratio == pytest.approx(0.87)
+        assert best.process_time_ratio == pytest.approx(0.76)
+
+    def test_prioritized_by_process_time(self, grid):
+        summary = summarize_ratios(grid, "dyn_auto_multi", "dyn_multi")
+        best = summary.by_process_time
+        assert best.processes == 10
+        assert best.process_time_ratio == pytest.approx(0.46)
+
+    def test_mean_std(self, grid):
+        summary = summarize_ratios(grid, "dyn_auto_multi", "dyn_multi")
+        rt_mean, rt_std = summary.runtime_mean_std
+        assert rt_mean == pytest.approx((0.87 + 1.01 + 1.2) / 3)
+        assert rt_std > 0
+
+    def test_explicit_process_subset(self, grid):
+        summary = summarize_ratios(grid, "dyn_auto_multi", "dyn_multi", processes=[5])
+        assert len(summary.rows) == 1
+
+    def test_missing_cell_raises(self, grid):
+        with pytest.raises(KeyError):
+            summarize_ratios(grid, "dyn_auto_multi", "dyn_multi", processes=[99])
+
+    def test_no_shared_processes_raises(self):
+        grid = grid_from_results([result("a", 1, 1, 1), result("b", 2, 1, 1)])
+        with pytest.raises(ValueError):
+            summarize_ratios(grid, "a", "b")
+
+    def test_degenerate_baseline_raises(self):
+        grid = grid_from_results(
+            [result("a", 1, 1.0, 1.0), result("b", 1, 0.0, 1.0)]
+        )
+        with pytest.raises(ValueError):
+            summarize_ratios(grid, "a", "b")

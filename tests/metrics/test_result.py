@@ -1,0 +1,40 @@
+"""Tests for RunResult."""
+
+from repro.metrics.result import RunResult
+
+
+def make_result(**kw):
+    defaults = dict(
+        mapping="multi",
+        workflow="wf",
+        processes=4,
+        runtime=2.0,
+        process_time=6.0,
+    )
+    defaults.update(kw)
+    return RunResult(**defaults)
+
+
+class TestRunResult:
+    def test_output_accessor(self):
+        result = make_result(outputs={"sink.output": [1, 2], "sink.log": ["x"]})
+        assert result.output("sink") == [1, 2]
+        assert result.output("sink", "log") == ["x"]
+        assert result.output("ghost") == []
+
+    def test_total_outputs(self):
+        result = make_result(outputs={"a.x": [1, 2], "b.y": [3]})
+        assert result.total_outputs() == 3
+
+    def test_efficiency(self):
+        assert make_result().efficiency() == 3.0
+
+    def test_efficiency_zero_runtime(self):
+        assert make_result(runtime=0.0).efficiency() == 0.0
+
+    def test_as_row(self):
+        assert make_result().as_row() == ("multi", 4, 2.0, 6.0)
+
+    def test_repr_readable(self):
+        text = repr(make_result())
+        assert "multi" in text and "p=4" in text

@@ -1,0 +1,85 @@
+"""Tests for ASCII table/series rendering."""
+
+from repro.autoscale.trace import ScalingTrace
+from repro.metrics.ratios import grid_from_results, summarize_ratios
+from repro.metrics.result import RunResult
+from repro.metrics.tables import (
+    render_ratio_table,
+    render_series,
+    render_table,
+    render_trace,
+)
+
+
+def result(mapping, processes, runtime, process_time):
+    return RunResult(
+        mapping=mapping,
+        workflow="wf",
+        processes=processes,
+        runtime=runtime,
+        process_time=process_time,
+    )
+
+
+class TestRenderTable:
+    def test_aligns_columns(self):
+        text = render_table(["a", "long_header"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "long_header" in lines[0]
+        assert lines[1].startswith("-")
+
+    def test_handles_empty_rows(self):
+        text = render_table(["x"], [])
+        assert "x" in text
+
+
+class TestRenderSeries:
+    def test_figure_layout(self):
+        grid = grid_from_results(
+            [
+                result("multi", 5, 10.0, 50.0),
+                result("multi", 10, 7.0, 70.0),
+                result("dyn_multi", 5, 8.0, 40.0),
+            ]
+        )
+        text = render_series("wl", grid, ["multi", "dyn_multi"], [5, 10])
+        assert "rt:multi" in text and "pt:dyn_multi" in text
+        assert "10.000" in text
+        # missing cell rendered as dash
+        assert "-" in text.splitlines()[-1]
+
+
+class TestRenderRatioTable:
+    def test_contains_prioritized_rows(self):
+        grid = grid_from_results(
+            [
+                result("dyn_multi", 5, 10.0, 50.0),
+                result("dyn_auto_multi", 5, 8.7, 38.0),
+            ]
+        )
+        summary = summarize_ratios(grid, "dyn_auto_multi", "dyn_multi")
+        text = render_ratio_table("t", {"server": summary})
+        assert "runtime" in text
+        assert "process time" in text
+        assert "[mean, std]" in text
+        assert "0.87" in text
+        assert "0.76" in text
+
+
+class TestRenderTrace:
+    def test_trace_rows(self):
+        trace = ScalingTrace("queue size")
+        for i, (active, metric) in enumerate([(2, 5.0), (3, 8.0), (2, 3.0)]):
+            trace.record(timestamp=float(i), active_size=active, metric=metric, decision=0)
+        text = render_trace("t", trace)
+        assert "active processes" in text
+        assert "queue size" in text
+        assert "8.0" in text
+
+    def test_downsampling(self):
+        trace = ScalingTrace("m")
+        for i in range(100):
+            trace.record(timestamp=float(i), active_size=1, metric=float(i), decision=0)
+        text = render_trace("t", trace, max_points=10)
+        assert len(text.splitlines()) <= 60

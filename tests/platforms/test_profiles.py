@@ -1,0 +1,59 @@
+"""Tests for platform profiles (Section 5.1.1)."""
+
+import pytest
+
+from repro.platforms.profiles import CLOUD, HPC, LAPTOP, SERVER, PlatformProfile, get_platform
+
+
+class TestBuiltinProfiles:
+    def test_server_matches_paper(self):
+        assert SERVER.cores == 16
+        assert SERVER.redis_available
+
+    def test_cloud_matches_paper(self):
+        assert CLOUD.cores == 8
+        assert CLOUD.cpu_speed < SERVER.cpu_speed  # 2.2 vs 2.6 GHz
+
+    def test_hpc_matches_paper(self):
+        assert HPC.cores == 64
+        assert not HPC.redis_available  # "Redis cannot be deployed on the HPC"
+
+    def test_laptop_unconstrained(self):
+        assert LAPTOP.cores is None
+        assert LAPTOP.queue_latency == 0.0
+
+    def test_redis_latency_above_queue_latency(self):
+        """Redis is an out-of-process server: pricier per op."""
+        for profile in (SERVER, CLOUD):
+            assert profile.redis_latency > profile.queue_latency
+
+
+class TestLookupAndValidation:
+    def test_get_platform(self):
+        assert get_platform("server") is SERVER
+
+    def test_get_platform_unknown(self):
+        with pytest.raises(KeyError):
+            get_platform("mainframe")
+
+    def test_make_core_limiter_fresh(self):
+        a = SERVER.make_core_limiter()
+        b = SERVER.make_core_limiter()
+        assert a is not b
+        assert a.cores == 16
+
+    def test_invalid_cores(self):
+        with pytest.raises(ValueError):
+            PlatformProfile(name="bad", cores=0)
+
+    def test_invalid_speed(self):
+        with pytest.raises(ValueError):
+            PlatformProfile(name="bad", cores=1, cpu_speed=0)
+
+    def test_invalid_latency(self):
+        with pytest.raises(ValueError):
+            PlatformProfile(name="bad", cores=1, queue_latency=-1)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            SERVER.cores = 99

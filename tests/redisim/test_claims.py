@@ -1,0 +1,77 @@
+"""Tests for XCLAIM / XAUTOCLAIM (crash recovery of pending entries)."""
+
+import pytest
+
+from repro.redisim.server import RedisServer
+
+
+@pytest.fixture
+def timeline():
+    return {"t": 1.0}
+
+
+@pytest.fixture
+def server(timeline):
+    return RedisServer(now=lambda: timeline["t"])
+
+
+def seed(server, n=3):
+    server.xgroup_create("s", "g", entry_id="0", mkstream=True)
+    return [server.xadd("s", {"v": i}) for i in range(n)]
+
+
+class TestXClaim:
+    def test_claims_idle_entries(self, server, timeline):
+        ids = seed(server)
+        server.xreadgroup("g", "dead", {"s": ">"}, count=3)
+        timeline["t"] = 10.0  # entries now 9000 ms idle
+        claimed = server.xclaim("s", "g", "alive", 5000, ids)
+        assert [eid for eid, _f in claimed] == ids
+        assert server.xpending("s", "g")["consumers"] == {"alive": 3}
+
+    def test_respects_min_idle(self, server, timeline):
+        ids = seed(server, n=1)
+        server.xreadgroup("g", "dead", {"s": ">"})
+        timeline["t"] = 1.5  # only 500 ms idle
+        assert server.xclaim("s", "g", "alive", 5000, ids) == []
+
+    def test_claim_bumps_delivery_count(self, server, timeline):
+        ids = seed(server, n=1)
+        server.xreadgroup("g", "dead", {"s": ">"})
+        timeline["t"] = 10.0
+        server.xclaim("s", "g", "alive", 0, ids)
+        rows = server.xpending_range("s", "g")
+        assert rows[0]["times_delivered"] == 2
+
+    def test_claim_unknown_id_ignored(self, server):
+        seed(server, n=1)
+        assert server.xclaim("s", "g", "c", 0, ["999-999"]) == []
+
+    def test_claim_trimmed_entry_drops_pel(self, server, timeline):
+        ids = seed(server, n=2)
+        server.xreadgroup("g", "dead", {"s": ">"}, count=2)
+        server.xtrim("s", 1)  # first entry gone from the log
+        timeline["t"] = 10.0
+        claimed = server.xclaim("s", "g", "alive", 0, ids)
+        assert [eid for eid, _f in claimed] == [ids[1]]
+        assert server.xpending("s", "g")["pending"] == 1
+
+
+class TestXAutoClaim:
+    def test_scans_and_claims(self, server, timeline):
+        ids = seed(server, n=5)
+        server.xreadgroup("g", "dead", {"s": ">"}, count=5)
+        timeline["t"] = 10.0
+        cursor, claimed = server.xautoclaim("s", "g", "alive", 1000, count=3)
+        assert len(claimed) == 3
+        assert cursor == ids[3]
+        cursor, claimed = server.xautoclaim("s", "g", "alive", 1000, start=cursor)
+        assert len(claimed) == 2
+        assert cursor == "0-0"
+
+    def test_nothing_idle_enough(self, server, timeline):
+        seed(server, n=2)
+        server.xreadgroup("g", "dead", {"s": ">"}, count=2)
+        timeline["t"] = 1.1
+        cursor, claimed = server.xautoclaim("s", "g", "alive", 60000)
+        assert claimed == [] and cursor == "0-0"

@@ -1,0 +1,160 @@
+"""Tests for stream IDs, XADD/XRANGE/XLEN/XTRIM and plain XREAD."""
+
+import threading
+
+import pytest
+
+from repro.redisim.errors import StreamIDError
+from repro.redisim.server import RedisServer
+from repro.redisim.streams import StreamID
+
+
+class TestStreamID:
+    def test_parse_full(self):
+        sid = StreamID.parse("5-3")
+        assert (sid.ms, sid.seq) == (5, 3)
+
+    def test_parse_ms_only(self):
+        assert StreamID.parse("7").seq == 0
+
+    def test_parse_invalid(self):
+        with pytest.raises(StreamIDError):
+            StreamID.parse("abc")
+
+    def test_negative_rejected(self):
+        with pytest.raises(StreamIDError):
+            StreamID(-1, 0)
+
+    def test_ordering(self):
+        assert StreamID(1, 5) < StreamID(2, 0)
+        assert StreamID(2, 1) < StreamID(2, 2)
+        assert StreamID(3, 3) == StreamID.parse("3-3")
+
+    def test_next(self):
+        assert StreamID(4, 7).next() == StreamID(4, 8)
+
+    def test_str_roundtrip(self):
+        sid = StreamID(12, 34)
+        assert StreamID.parse(str(sid)) == sid
+
+    def test_hashable(self):
+        assert len({StreamID(1, 1), StreamID.parse("1-1")}) == 1
+
+
+@pytest.fixture
+def server():
+    # Deterministic clock so auto-IDs are predictable in tests.
+    times = iter(x / 1000.0 for x in range(1, 100000))
+    return RedisServer(now=lambda: next(times))
+
+
+class TestXAdd:
+    def test_auto_ids_increase(self, server):
+        first = server.xadd("s", {"v": 1})
+        second = server.xadd("s", {"v": 2})
+        assert StreamID.parse(first) < StreamID.parse(second)
+
+    def test_explicit_id(self, server):
+        assert server.xadd("s", {"v": 1}, entry_id="100-1") == "100-1"
+
+    def test_explicit_id_must_increase(self, server):
+        server.xadd("s", {"v": 1}, entry_id="100-1")
+        with pytest.raises(StreamIDError):
+            server.xadd("s", {"v": 2}, entry_id="100-1")
+
+    def test_zero_id_rejected(self, server):
+        with pytest.raises(StreamIDError):
+            server.xadd("s", {"v": 1}, entry_id="0-0")
+
+    def test_empty_fields_rejected(self, server):
+        with pytest.raises(StreamIDError):
+            server.xadd("s", {})
+
+    def test_same_ms_bumps_seq(self):
+        server = RedisServer(now=lambda: 0.005)  # frozen clock
+        a = server.xadd("s", {"v": 1})
+        b = server.xadd("s", {"v": 2})
+        assert a == "5-0" and b == "5-1"
+
+    def test_xlen(self, server):
+        assert server.xlen("s") == 0
+        server.xadd("s", {"v": 1})
+        assert server.xlen("s") == 1
+
+    def test_maxlen_trims(self, server):
+        for i in range(10):
+            server.xadd("s", {"v": i}, maxlen=5)
+        assert server.xlen("s") == 5
+        values = [fields["v"] for _id, fields in server.xrange("s")]
+        assert values == [5, 6, 7, 8, 9]
+
+
+class TestXRange:
+    def test_full_range(self, server):
+        ids = [server.xadd("s", {"v": i}) for i in range(3)]
+        got = server.xrange("s")
+        assert [eid for eid, _f in got] == ids
+
+    def test_bounded_range(self, server):
+        ids = [server.xadd("s", {"v": i}) for i in range(5)]
+        got = server.xrange("s", ids[1], ids[3])
+        assert [eid for eid, _f in got] == ids[1:4]
+
+    def test_count_limits(self, server):
+        for i in range(5):
+            server.xadd("s", {"v": i})
+        assert len(server.xrange("s", count=2)) == 2
+
+    def test_missing_stream_empty(self, server):
+        assert server.xrange("nope") == []
+
+    def test_xtrim(self, server):
+        for i in range(6):
+            server.xadd("s", {"v": i})
+        assert server.xtrim("s", 2) == 4
+        assert server.xlen("s") == 2
+
+
+class TestXRead:
+    def test_read_from_start(self, server):
+        server.xadd("s", {"v": 1})
+        server.xadd("s", {"v": 2})
+        reply = server.xread({"s": "0-0"})
+        assert len(reply) == 1
+        key, entries = reply[0]
+        assert key == "s" and len(entries) == 2
+
+    def test_read_after_cursor(self, server):
+        first = server.xadd("s", {"v": 1})
+        server.xadd("s", {"v": 2})
+        reply = server.xread({"s": first})
+        _key, entries = reply[0]
+        assert [f["v"] for _e, f in entries] == [2]
+
+    def test_read_nothing_returns_empty(self, server):
+        server.xadd("s", {"v": 1})
+        last = server.xrange("s")[-1][0]
+        assert server.xread({"s": last}) == []
+
+    def test_dollar_means_new_only(self, server):
+        server.xadd("s", {"v": "old"})
+        assert server.xread({"s": "$"}) == []
+
+    def test_blocking_read_wakes_on_add(self):
+        server = RedisServer()
+        got = []
+
+        def reader():
+            got.append(server.xread({"s": "0-0"}, block_ms=2000))
+
+        server.xadd("s", {"seed": 1})
+        server.delete("s")
+        t = threading.Thread(target=reader)
+        t.start()
+        server.xadd("s", {"v": "fresh"})
+        t.join(timeout=3)
+        assert got and got[0][0][1][0][1] == {"v": "fresh"}
+
+    def test_blocking_read_times_out(self):
+        server = RedisServer()
+        assert server.xread({"missing": "0-0"}, block_ms=20) == []

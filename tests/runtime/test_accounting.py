@@ -1,0 +1,84 @@
+"""Tests for the activity meter (total process time metric)."""
+
+import time
+
+from repro.runtime.accounting import ActivityMeter
+from repro.runtime.clock import Clock
+
+
+class TestActivityMeter:
+    def test_empty_meter_zero(self):
+        meter = ActivityMeter(Clock())
+        assert meter.total() == 0.0
+        assert meter.per_worker() == {}
+
+    def test_accumulates_active_time(self):
+        meter = ActivityMeter(Clock())
+        meter.activate("w0")
+        time.sleep(0.02)
+        meter.deactivate("w0")
+        assert 0.01 < meter.total() < 1.0
+
+    def test_idle_time_not_counted(self):
+        meter = ActivityMeter(Clock())
+        meter.activate("w0")
+        time.sleep(0.01)
+        meter.deactivate("w0")
+        before = meter.total()
+        time.sleep(0.05)  # idle gap
+        assert meter.total() == before
+
+    def test_multiple_workers_sum(self):
+        meter = ActivityMeter(Clock())
+        meter.activate("a")
+        meter.activate("b")
+        time.sleep(0.02)
+        meter.deactivate("a")
+        meter.deactivate("b")
+        per = meter.per_worker()
+        assert set(per) == {"a", "b"}
+        assert meter.total() >= 0.03  # both counted
+
+    def test_double_activate_is_noop(self):
+        meter = ActivityMeter(Clock())
+        meter.activate("w")
+        time.sleep(0.01)
+        meter.activate("w")  # must not reset the interval start
+        time.sleep(0.01)
+        meter.deactivate("w")
+        assert meter.total() >= 0.015
+
+    def test_deactivate_unknown_is_noop(self):
+        meter = ActivityMeter(Clock())
+        meter.deactivate("ghost")
+        assert meter.total() == 0.0
+
+    def test_open_interval_included_in_total(self):
+        meter = ActivityMeter(Clock())
+        meter.activate("w")
+        time.sleep(0.02)
+        assert meter.total() >= 0.015  # still active
+
+    def test_close_folds_open_intervals(self):
+        meter = ActivityMeter(Clock())
+        meter.activate("w")
+        time.sleep(0.01)
+        meter.close()
+        total = meter.total()
+        time.sleep(0.02)
+        assert meter.total() == total
+
+    def test_context_manager(self):
+        meter = ActivityMeter(Clock())
+        with meter.active("w"):
+            time.sleep(0.01)
+        assert meter.total() >= 0.005
+        assert meter.active_workers == 0
+
+    def test_active_workers_count(self):
+        meter = ActivityMeter(Clock())
+        meter.activate("a")
+        meter.activate("b")
+        assert meter.active_workers == 2
+        meter.deactivate("a")
+        assert meter.active_workers == 1

@@ -1,0 +1,64 @@
+"""Tests for repro.runtime.clock."""
+
+import time
+
+import pytest
+
+from repro.runtime.clock import Clock
+
+
+class TestClockConstruction:
+    def test_default_scale_is_one(self):
+        assert Clock().time_scale == 1.0
+
+    def test_rejects_zero_scale(self):
+        with pytest.raises(ValueError):
+            Clock(0)
+
+    def test_rejects_negative_scale(self):
+        with pytest.raises(ValueError):
+            Clock(-0.5)
+
+    def test_repr_mentions_scale(self):
+        assert "0.25" in repr(Clock(0.25))
+
+
+class TestClockConversions:
+    def test_to_real_scales_down(self):
+        assert Clock(0.01).to_real(2.0) == pytest.approx(0.02)
+
+    def test_to_nominal_scales_up(self):
+        assert Clock(0.01).to_nominal(0.02) == pytest.approx(2.0)
+
+    def test_roundtrip(self):
+        clock = Clock(0.37)
+        assert clock.to_nominal(clock.to_real(5.5)) == pytest.approx(5.5)
+
+
+class TestClockSleep:
+    def test_sleep_scales(self):
+        clock = Clock(0.01)
+        start = time.monotonic()
+        clock.sleep(1.0)  # 10 ms real
+        elapsed = time.monotonic() - start
+        assert 0.005 <= elapsed < 0.5
+
+    def test_tiny_sleep_returns_fast(self):
+        clock = Clock(1e-9)
+        start = time.monotonic()
+        for _ in range(100):
+            clock.sleep(1.0)
+        assert time.monotonic() - start < 0.2
+
+    def test_zero_sleep_ok(self):
+        Clock().sleep(0.0)
+
+    def test_negative_sleep_rejected(self):
+        with pytest.raises(ValueError):
+            Clock().sleep(-1.0)
+
+    def test_now_is_monotonic(self):
+        clock = Clock()
+        a = clock.now()
+        b = clock.now()
+        assert b >= a

@@ -1,0 +1,86 @@
+"""Tests for repro.runtime.cores (the emulated-core limiter)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.runtime.clock import Clock
+from repro.runtime.cores import CoreLimiter
+
+
+class TestCoreLimiterBasics:
+    def test_unconstrained_allows_everything(self):
+        limiter = CoreLimiter(None)
+        with limiter.core():
+            assert limiter.in_use == 0  # unconstrained doesn't track
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            CoreLimiter(0)
+
+    def test_in_use_tracks_holders(self):
+        limiter = CoreLimiter(4)
+        with limiter.core():
+            assert limiter.in_use == 1
+            with limiter.core():
+                assert limiter.in_use == 2
+        assert limiter.in_use == 0
+
+    def test_compute_sleeps_scaled(self):
+        limiter = CoreLimiter(2)
+        clock = Clock(0.01)
+        start = time.monotonic()
+        limiter.compute(clock, 1.0)
+        assert 0.005 <= time.monotonic() - start < 0.5
+
+
+class TestCoreContention:
+    def test_oversubscription_serializes(self):
+        """4 workers on 2 cores must take ~2x the single-worker time."""
+        limiter = CoreLimiter(2)
+        clock = Clock(0.01)  # each compute is 10 ms real
+        start = time.monotonic()
+        threads = [
+            threading.Thread(target=limiter.compute, args=(clock, 1.0))
+            for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        elapsed = time.monotonic() - start
+        # 4 jobs x 10ms on 2 cores = 20ms minimum.
+        assert elapsed >= 0.018
+
+    def test_enough_cores_run_parallel(self):
+        limiter = CoreLimiter(8)
+        clock = Clock(0.01)
+        start = time.monotonic()
+        threads = [
+            threading.Thread(target=limiter.compute, args=(clock, 1.0))
+            for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # All parallel: ~10 ms, allow generous slack.
+        assert time.monotonic() - start < 0.5
+
+    def test_release_on_exception(self):
+        limiter = CoreLimiter(1)
+        with pytest.raises(RuntimeError):
+            with limiter.core():
+                raise RuntimeError("boom")
+        # Token must have been released.
+        acquired = threading.Event()
+
+        def grab():
+            with limiter.core():
+                acquired.set()
+
+        t = threading.Thread(target=grab)
+        t.start()
+        t.join(timeout=1)
+        assert acquired.is_set()

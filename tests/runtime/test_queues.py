@@ -1,0 +1,138 @@
+"""Tests for repro.runtime.queues."""
+
+import threading
+
+import pytest
+
+from repro.runtime.queues import POISON_PILL, CloseableQueue, Empty, TrackedQueue
+
+
+class TestCloseableQueue:
+    def test_fifo_order(self):
+        q = CloseableQueue()
+        for i in range(5):
+            q.put(i)
+        assert [q.get() for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_get_timeout_raises_empty(self):
+        q = CloseableQueue()
+        with pytest.raises(Empty):
+            q.get(timeout=0.01)
+
+    def test_get_nowait_raises_empty(self):
+        with pytest.raises(Empty):
+            CloseableQueue().get_nowait()
+
+    def test_close_delivers_one_pill_per_consumer(self):
+        q = CloseableQueue()
+        q.close(consumers=3)
+        assert all(q.get() is POISON_PILL for _ in range(3))
+
+    def test_close_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CloseableQueue().close(consumers=-1)
+
+    def test_qsize_and_empty(self):
+        q = CloseableQueue()
+        assert q.empty()
+        q.put("x")
+        assert q.qsize() == 1 and not q.empty()
+
+
+class TestTrackedQueueAccounting:
+    def test_starts_drained(self):
+        q = TrackedQueue()
+        assert q.is_drained()
+        assert q.outstanding == 0
+
+    def test_put_makes_outstanding(self):
+        q = TrackedQueue()
+        q.put("a")
+        assert q.outstanding == 1
+        assert not q.is_drained()
+
+    def test_get_does_not_drain(self):
+        """A fetched-but-unfinished task is still outstanding (the race the
+        paper's plain emptiness check loses)."""
+        q = TrackedQueue()
+        q.put("a")
+        q.get()
+        assert q.empty()
+        assert not q.is_drained()
+
+    def test_mark_done_drains(self):
+        q = TrackedQueue()
+        q.put("a")
+        q.get()
+        q.mark_done()
+        assert q.is_drained()
+
+    def test_children_keep_queue_undrained(self):
+        q = TrackedQueue()
+        q.put("parent")
+        q.get()
+        q.put("child")  # enqueued before parent completes
+        q.mark_done()
+        assert not q.is_drained()
+        q.get()
+        q.mark_done()
+        assert q.is_drained()
+
+    def test_mark_done_without_get_raises(self):
+        with pytest.raises(RuntimeError):
+            TrackedQueue().mark_done()
+
+    def test_counters(self):
+        q = TrackedQueue()
+        q.put("a")
+        q.put("b")
+        q.get()
+        assert q.total_put == 2
+        assert q.total_got == 1
+
+
+class TestTrackedQueuePills:
+    def test_pills_bypass_accounting(self):
+        q = TrackedQueue()
+        q.put_pill(2)
+        assert q.is_drained()
+        assert q.get() is POISON_PILL
+        assert q.get() is POISON_PILL
+        assert q.total_got == 0
+
+    def test_put_pill_via_put(self):
+        q = TrackedQueue()
+        q.put(POISON_PILL)
+        assert q.is_drained()
+        assert q.get() is POISON_PILL
+
+
+class TestTrackedQueueWaiting:
+    def test_wait_drained_immediate(self):
+        assert TrackedQueue().wait_drained(timeout=0.01)
+
+    def test_wait_drained_timeout(self):
+        q = TrackedQueue()
+        q.put("x")
+        assert not q.wait_drained(timeout=0.02)
+
+    def test_wait_drained_wakes_on_completion(self):
+        q = TrackedQueue()
+        q.put("x")
+        woke = threading.Event()
+
+        def waiter():
+            if q.wait_drained(timeout=2.0):
+                woke.set()
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        q.get()
+        q.mark_done()
+        t.join(timeout=2.0)
+        assert woke.is_set()
+
+    def test_get_blocking_timeout(self):
+        q = TrackedQueue()
+        with pytest.raises(Empty):
+            q.get(timeout=0.01)

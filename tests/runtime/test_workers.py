@@ -1,0 +1,123 @@
+"""Tests for the WorkerPool (apply_async semantics)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.runtime.workers import AsyncResult, WorkerPool
+
+
+class TestAsyncResult:
+    def test_not_ready_initially(self):
+        assert not AsyncResult().ready()
+
+    def test_successful_before_ready_raises(self):
+        with pytest.raises(ValueError):
+            AsyncResult().successful()
+
+    def test_get_timeout(self):
+        with pytest.raises(TimeoutError):
+            AsyncResult().get(timeout=0.01)
+
+
+class TestWorkerPool:
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            WorkerPool(0)
+
+    def test_apply_async_returns_value(self):
+        pool = WorkerPool(2)
+        try:
+            result = pool.apply_async(lambda a, b: a + b, (2, 3))
+            assert result.get(timeout=2) == 5
+            assert result.successful()
+        finally:
+            pool.close()
+            pool.join()
+
+    def test_callback_fires_with_value(self):
+        pool = WorkerPool(2)
+        seen = []
+        done = threading.Event()
+
+        def callback(value):
+            seen.append(value)
+            done.set()
+
+        try:
+            pool.apply_async(lambda: 42, callback=callback)
+            assert done.wait(timeout=2)
+            assert seen == [42]
+        finally:
+            pool.close()
+            pool.join()
+
+    def test_exception_recorded_and_reraised(self):
+        pool = WorkerPool(1)
+
+        def boom():
+            raise ValueError("kapow")
+
+        try:
+            result = pool.apply_async(boom)
+            with pytest.raises(ValueError, match="kapow"):
+                result.get(timeout=2)
+            assert not result.successful()
+            assert any(isinstance(e, ValueError) for e in pool.errors)
+        finally:
+            pool.close()
+            pool.join()
+
+    def test_callback_fires_even_on_error(self):
+        """active_count accounting must not leak when a session dies."""
+        pool = WorkerPool(1)
+        done = threading.Event()
+
+        def boom():
+            raise RuntimeError("x")
+
+        try:
+            pool.apply_async(boom, callback=lambda _v: done.set())
+            assert done.wait(timeout=2)
+        finally:
+            pool.close()
+            pool.join()
+
+    def test_parallelism(self):
+        pool = WorkerPool(4)
+        barrier = threading.Barrier(4, timeout=2)
+
+        def wait_at_barrier():
+            barrier.wait()
+            return True
+
+        try:
+            results = [pool.apply_async(wait_at_barrier) for _ in range(4)]
+            assert all(r.get(timeout=3) for r in results)
+        finally:
+            pool.close()
+            pool.join()
+
+    def test_submit_after_close_raises(self):
+        pool = WorkerPool(1)
+        pool.close()
+        pool.join()
+        with pytest.raises(RuntimeError):
+            pool.apply_async(lambda: 1)
+
+    def test_join_before_close_raises(self):
+        pool = WorkerPool(1)
+        try:
+            with pytest.raises(RuntimeError):
+                pool.join()
+        finally:
+            pool.close()
+            pool.join()
+
+    def test_backlog_processed_after_close(self):
+        pool = WorkerPool(1)
+        results = [pool.apply_async(time.sleep, (0.01,)) for _ in range(5)]
+        pool.close()
+        pool.join(timeout=5)
+        assert all(r.ready() for r in results)

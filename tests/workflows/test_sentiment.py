@@ -1,0 +1,202 @@
+"""Tests for the Sentiment Analyses workflow."""
+
+import pytest
+
+from repro import run
+from repro.core.partition import minimum_processes
+from repro.workflows.sentiment.articles import US_STATES, generate_articles, make_article, state_mood
+from repro.workflows.sentiment.lexicon import AFINN, SWN3, afinn_score, swn3_score
+from repro.workflows.sentiment.pes import (
+    FindState,
+    HappyState,
+    ReadArticles,
+    SentimentAFINN,
+    SentimentSWN3,
+    TokenizeWD,
+    Top3Happiest,
+)
+from repro.workflows.sentiment.tokenizer import tokenize
+from repro.workflows.sentiment.workflow import build_sentiment_workflow
+from tests.conftest import FAST_SCALE
+
+
+class TestTokenizer:
+    def test_basic(self):
+        assert tokenize("Happy days, happy NIGHTS!") == ["happy", "days", "happy", "nights"]
+
+    def test_apostrophes_kept(self):
+        assert tokenize("It's fine") == ["it's", "fine"]
+
+    def test_numbers(self):
+        assert tokenize("win 42 times") == ["win", "42", "times"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+
+    def test_type_error(self):
+        with pytest.raises(TypeError):
+            tokenize(None)
+
+
+class TestLexicons:
+    def test_afinn_polarity(self):
+        assert afinn_score(["happy"]) > 0
+        assert afinn_score(["disaster"]) < 0
+        assert afinn_score(["the"]) == 0
+
+    def test_afinn_sums(self):
+        assert afinn_score(["happy", "happy"]) == 2 * AFINN["happy"]
+
+    def test_swn3_polarity(self):
+        assert swn3_score(["wonderful"]) > 0
+        assert swn3_score(["tragic"]) < 0
+
+    def test_lexicons_share_polarity(self):
+        """Words positive in AFINN are positive in SWN3 and vice versa."""
+        for word, valence in AFINN.items():
+            pos, neg = SWN3[word]
+            assert (valence > 0) == (pos > neg)
+
+    def test_swn3_scores_in_range(self):
+        for pos, neg in SWN3.values():
+            assert 0.0 <= pos <= 1.0 and 0.0 <= neg <= 1.0
+
+
+class TestArticles:
+    def test_deterministic(self):
+        assert make_article(5)["text"] == make_article(5)["text"]
+
+    def test_states_valid(self):
+        for article in generate_articles(40):
+            assert article["state"] in US_STATES
+
+    def test_lengths_vary(self):
+        lengths = {len(a["text"]) for a in generate_articles(30)}
+        assert len(lengths) > 10
+
+    def test_mood_range(self):
+        for state in US_STATES:
+            assert 0.25 <= state_mood(state) <= 0.75
+
+    def test_mood_shapes_sentiment(self):
+        """Happier states produce more positive article scores on average."""
+        happiest = max(US_STATES, key=state_mood)
+        saddest = min(US_STATES, key=state_mood)
+        def avg_score(state):
+            scores = [
+                afinn_score(tokenize(a["text"]))
+                for a in generate_articles(300)
+                if a["state"] == state
+            ]
+            return sum(scores) / max(len(scores), 1)
+        assert avg_score(happiest) > avg_score(saddest)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            generate_articles(-1)
+        with pytest.raises(ValueError):
+            make_article(-1)
+
+
+class TestSentimentPEs:
+    def test_read_articles(self):
+        pe = ReadArticles(read_latency=0.0, parse_cost=0.0)
+        [(_, article)] = pe._invoke({"input": 3})
+        assert article == make_article(3)
+
+    def test_afinn_pe(self):
+        pe = SentimentAFINN(cost=0.0)
+        article = {"id": 1, "state": "CA", "text": "happy happy disaster"}
+        [(_, record)] = pe._invoke({"input": article})
+        assert record["score"] == AFINN["happy"] * 2 + AFINN["disaster"]
+
+    def test_tokenize_pe(self):
+        pe = TokenizeWD(cost=0.0)
+        [(_, record)] = pe._invoke(
+            {"input": {"id": 1, "state": "CA", "text": "Hope wins hope"}}
+        )
+        assert record["counts"] == {"hope": 2, "wins": 1}
+        assert record["n_tokens"] == 3
+
+    def test_swn3_pe(self):
+        pe = SentimentSWN3(cost=0.0)
+        [(_, record)] = pe._invoke(
+            {
+                "input": {
+                    "id": 1,
+                    "state": "CA",
+                    "n_tokens": 3,
+                    "counts": {"wonderful": 2, "tragic": 1},
+                }
+            }
+        )
+        expected = swn3_score(["wonderful", "wonderful", "tragic"])
+        assert record["score"] == pytest.approx(expected)
+
+    def test_find_state_tuple(self):
+        pe = FindState(cost=0.0)
+        [(_, pair)] = pe._invoke({"input": {"id": 1, "state": "TX", "score": 4.5}})
+        assert pair == ("TX", 4.5)
+
+    def test_happy_state_running_mean(self):
+        pe = HappyState(cost=0.0)
+        pe._invoke({"input": ("TX", 4.0)})
+        [(_, update)] = pe._invoke({"input": ("TX", 6.0)})
+        assert update == ("TX", 5.0, 2)
+        assert pe.snapshot() == {"TX": (5.0, 2)}
+
+    def test_top3_keeps_best(self):
+        pe = Top3Happiest(cost=0.0)
+        for state, mean, count in [("A", 5.0, 2), ("B", 9.0, 2), ("C", 1.0, 2), ("D", 7.0, 2)]:
+            pe._invoke({"input": (state, mean, count)})
+        assert [row[0] for row in pe.top3()] == ["B", "D", "A"]
+
+    def test_top3_latest_update_wins(self):
+        pe = Top3Happiest(cost=0.0)
+        pe._invoke({"input": ("A", 9.0, 1)})
+        pe._invoke({"input": ("A", 2.0, 2)})
+        assert pe.top3() == [("A", 2.0, 2)]
+
+    def test_top3_postprocess_emits_once(self):
+        pe = Top3Happiest(cost=0.0)
+        pe._invoke({"input": ("A", 1.0, 1)})
+        emissions = pe._flush_postprocess()
+        assert len(emissions) == 1
+
+    def test_top3_empty_instance_emits_nothing(self):
+        assert Top3Happiest(cost=0.0)._flush_postprocess() == []
+
+
+class TestSentimentWorkflow:
+    def test_structure(self):
+        g, inputs = build_sentiment_workflow(articles=10)
+        assert g.is_stateful()
+        assert minimum_processes(g) == 14  # Section 5.4
+        assert len(inputs) == 10
+
+    def test_stateful_set(self):
+        g, _ = build_sentiment_workflow(articles=1)
+        assert {pe.name for pe in g.stateful_pes()} == {"happyState", "top3Happiest"}
+
+    def test_invalid_articles(self):
+        with pytest.raises(ValueError):
+            build_sentiment_workflow(articles=0)
+
+    def test_top3_equal_across_mappings(self):
+        def top3(mapping, processes):
+            g, inputs = build_sentiment_workflow(articles=40)
+            result = run(g, inputs=inputs, processes=processes, mapping=mapping, time_scale=FAST_SCALE)
+            [rows] = result.output("top3Happiest", "top3")
+            return [(s, round(m, 9), c) for s, m, c in rows]
+
+        expected = top3("simple", 1)
+        assert top3("multi", 14) == expected
+        assert top3("hybrid_redis", 8) == expected
+
+    def test_happy_state_count_conservation(self):
+        """Every article contributes exactly two scores (AFINN + SWN3)."""
+        g, inputs = build_sentiment_workflow(articles=30)
+        result = run(g, inputs=inputs, processes=14, mapping="multi", time_scale=FAST_SCALE)
+        [rows] = result.output("top3Happiest", "top3")
+        # count per state is even (two paths per article)
+        assert all(count % 2 == 0 for _s, _m, count in rows)

@@ -12,9 +12,28 @@ paper, shapes and ratios are (DESIGN.md).
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro.bench.experiments import get_experiment
+from repro.core.pe import reset_auto_names
+
+
+def pytest_collection_modifyitems(items):
+    """Tag every figure/table regeneration benchmark with the ``figure``
+    marker so CI's fast lane can deselect them (``-m "not figure"``)."""
+    this_dir = Path(__file__).resolve().parent
+    for item in items:
+        if Path(str(item.fspath)).resolve().parent == this_dir:
+            item.add_marker(pytest.mark.figure)
+
+
+@pytest.fixture(autouse=True)
+def _deterministic_auto_names():
+    """Benchmarks build many graphs per process; keep auto-names stable."""
+    reset_auto_names()
+    yield
 
 
 @pytest.fixture

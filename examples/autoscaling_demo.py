@@ -9,7 +9,7 @@ traces side by side -- queue-size driven growth vs idle-time driven decay
 Run:  python examples/autoscaling_demo.py
 """
 
-from repro import IterativePE, SERVER, WorkflowGraph, run
+from repro import Engine, IterativePE, SERVER, WorkflowGraph
 from repro.metrics.tables import render_trace
 
 
@@ -29,23 +29,15 @@ class Work(IterativePE):
 
 
 def build():
-    graph = WorkflowGraph("bursty")
-    src = graph.add(BurstySource(name="source"))
-    work = graph.add(Work(name="work"))
-    graph.connect(src, "output", work, "input")
-    return graph
+    # Fluent construction: >> chains the default output/input ports.
+    chain = BurstySource(name="source") >> Work(name="work")
+    return WorkflowGraph.from_chain(chain, name="bursty")
 
 
 def main() -> None:
+    engine = Engine(platform=SERVER, processes=12, time_scale=0.02)
     for mapping in ("dyn_auto_multi", "dyn_auto_redis"):
-        result = run(
-            build(),
-            inputs=list(range(80)),
-            processes=12,
-            mapping=mapping,
-            platform=SERVER,
-            time_scale=0.02,
-        )
+        result = engine.run(build(), inputs=list(range(80)), mapping=mapping)
         trace = result.trace
         print(
             f"\n=== {mapping}: runtime {result.runtime:.2f}s, "

@@ -9,7 +9,7 @@ together with the auto-scaler's activity trace (Figure 13 style).
 Run:  python examples/galaxy_extinction.py
 """
 
-from repro import SERVER, run
+from repro import Engine, SERVER
 from repro.metrics.tables import render_trace
 from repro.workflows import build_internal_extinction_workflow
 
@@ -18,17 +18,13 @@ def main() -> None:
     processes = 12
     time_scale = 0.02
 
+    # One engine, two runs: the platform resolves once, the mapping is a
+    # per-run override.
+    engine = Engine(platform=SERVER, processes=processes, time_scale=time_scale)
     results = {}
     for mapping in ("dyn_multi", "dyn_auto_multi"):
         graph, inputs = build_internal_extinction_workflow(scale=2)
-        results[mapping] = run(
-            graph,
-            inputs=inputs,
-            processes=processes,
-            mapping=mapping,
-            platform=SERVER,
-            time_scale=time_scale,
-        )
+        results[mapping] = engine.run(graph, inputs=inputs, mapping=mapping)
 
     base = results["dyn_multi"]
     auto = results["dyn_auto_multi"]

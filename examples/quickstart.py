@@ -8,7 +8,7 @@ result while exposing very different runtime/efficiency profiles.
 Run:  python examples/quickstart.py
 """
 
-from repro import IterativePE, WorkflowGraph, mapping_names, run
+from repro import Engine, IterativePE, WorkflowGraph, mapping_names
 
 
 class Square(IterativePE):
@@ -27,24 +27,19 @@ class Tag(IterativePE):
 
 
 def build_graph() -> WorkflowGraph:
-    graph = WorkflowGraph("quickstart")
-    square = graph.add(Square(name="square"))
-    tag = graph.add(Tag(name="tag"))
-    graph.connect(square, "output", tag, "input")
-    return graph
+    # Fluent construction: >> wires square.output to tag.input.
+    chain = Square(name="square") >> Tag(name="tag")
+    return WorkflowGraph.from_chain(chain, name="quickstart")
 
 
 def main() -> None:
     inputs = list(range(32))
+    # One engine, reused for every mapping (time_scale replays 'nominal
+    # seconds' at 5% speed).
+    engine = Engine(processes=4, time_scale=0.05)
     print(f"{'mapping':<16} {'runtime (s)':>12} {'process time (s)':>18} outputs")
     for mapping in mapping_names():
-        result = run(
-            build_graph(),
-            inputs=inputs,
-            processes=4,
-            mapping=mapping,
-            time_scale=0.05,  # replay 'nominal seconds' at 5% speed
-        )
+        result = engine.run(build_graph(), inputs=inputs, mapping=mapping)
         outputs = sorted(v for _parity, v in result.output("tag"))
         ok = outputs == sorted(i * i for i in inputs)
         print(

@@ -9,7 +9,7 @@ pairs.
 Run:  python examples/seismic_xcorr.py
 """
 
-from repro import SERVER, run
+from repro import Engine, SERVER
 from repro.workflows import (
     build_seismic_phase1_workflow,
     build_seismic_phase2_workflow,
@@ -17,40 +17,34 @@ from repro.workflows import (
 
 
 def main() -> None:
-    time_scale = 0.02
+    # mapping="auto" picks a stateless dynamic mapping for phase 1 and a
+    # stateful-capable one for phase 2; prefer=... pins the Redis variants
+    # this example is about.
+    engine = Engine(
+        mapping="auto",
+        platform=SERVER,
+        time_scale=0.02,
+        prefer=("dyn_redis", "hybrid_redis"),
+    )
 
     # ---- phase 1: stateless pre-processing over 30 stations -------------
     graph, inputs = build_seismic_phase1_workflow(stations=30, samples=1500)
-    phase1 = run(
-        graph,
-        inputs=inputs,
-        processes=10,
-        mapping="dyn_redis",
-        platform=SERVER,
-        time_scale=time_scale,
-    )
+    phase1 = engine.run(graph, inputs=inputs, processes=10)
     written = phase1.output("writeOutput")
     total_bytes = sum(w["bytes"] for w in written)
     print(
-        f"phase 1 (dyn_redis, 10 processes): {len(written)} spectra written, "
-        f"{total_bytes / 1024:.0f} KiB, runtime {phase1.runtime:.3f}s, "
+        f"phase 1 ({phase1.mapping}, 10 processes): {len(written)} spectra "
+        f"written, {total_bytes / 1024:.0f} KiB, runtime {phase1.runtime:.3f}s, "
         f"process time {phase1.process_time:.3f}s"
     )
 
     # ---- phase 2: stateful pair correlation (hybrid mapping) ------------
     graph, inputs = build_seismic_phase2_workflow(stations=10, samples=1024)
-    phase2 = run(
-        graph,
-        inputs=inputs,
-        processes=8,
-        mapping="hybrid_redis",
-        platform=SERVER,
-        time_scale=time_scale,
-    )
+    phase2 = engine.run(graph, inputs=inputs, processes=8)
     [summary] = phase2.output("writeXCorr", "summary")
     pairs = 10 * 9 // 2
     print(
-        f"phase 2 (hybrid_redis, 8 processes): {len(summary)}/{pairs} pairs "
+        f"phase 2 ({phase2.mapping}, 8 processes): {len(summary)}/{pairs} pairs "
         f"correlated, runtime {phase2.runtime:.3f}s"
     )
     print("\nstrongest station pairs (peak cross-correlation):")

@@ -9,24 +9,17 @@ stateless pool finishes faster than multi's static allocation.
 Run:  python examples/sentiment_news.py
 """
 
-from repro import SERVER, run
+from repro import Engine, SERVER
 from repro.workflows import build_sentiment_workflow
 
 
 def main() -> None:
     articles = 250
-    time_scale = 0.04
+    engine = Engine(platform=SERVER, processes=14, time_scale=0.04)
     results = {}
-    for mapping, processes in (("multi", 14), ("hybrid_redis", 14)):
+    for mapping in ("multi", "hybrid_redis"):
         graph, inputs = build_sentiment_workflow(articles=articles)
-        results[mapping] = run(
-            graph,
-            inputs=inputs,
-            processes=processes,
-            mapping=mapping,
-            platform=SERVER,
-            time_scale=time_scale,
-        )
+        results[mapping] = engine.run(graph, inputs=inputs, mapping=mapping)
 
     print(f"workload: {articles} articles, 14 processes on server(16 cores)\n")
     print(f"{'mapping':<14} {'runtime (s)':>12} {'process time (s)':>18}")

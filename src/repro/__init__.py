@@ -9,27 +9,37 @@ A stream-based scientific workflow engine in the style of dispel4py, with:
 - the paper's auto-scaling optimization (``dyn_auto_multi`` /
   ``dyn_auto_redis``, Algorithm 1),
 - the stateful-aware hybrid mapping (``hybrid_redis``),
+- a capability-aware mapping registry with ``mapping="auto"`` selection,
 - the three evaluation workflows (:mod:`repro.workflows`) and a benchmark
   harness regenerating every figure and table (:mod:`repro.bench`).
 
-Quickstart::
+Quickstart (fluent API + Engine facade)::
 
-    from repro import WorkflowGraph, IterativePE, run
+    from repro import Engine, IterativePE, Pipeline
 
     class Double(IterativePE):
         def _process(self, data):
             return 2 * data
 
-    graph = WorkflowGraph("demo")
-    double = graph.add(Double(name="double"))
-    result = run(graph, inputs=[1, 2, 3], mapping="simple")
+    double = Double(name="double")
+    graph = Pipeline("demo").then(double).build()
+
+    with Engine(mapping="auto", processes=4) as engine:
+        result = engine.run(graph, inputs=[1, 2, 3])
     print(result.output("double"))  # [2, 4, 6]
+
+PEs compose with ``>>`` -- ``producer >> double >> sink`` chains default
+ports, ``pe.out("a") >> other.in_("b")`` wires named ports, and
+``>> GroupBy("key") >>`` attaches a grouping inline; see
+:mod:`repro.core.fluent`.  The classic ``WorkflowGraph.connect`` string
+API and the module-level :func:`run` shim keep working unchanged.
 """
 
 from typing import Any
 
 from repro.core import (
     AllToOne,
+    Chain,
     ConsumerPE,
     FunctionPE,
     GenericPE,
@@ -37,19 +47,29 @@ from repro.core import (
     Grouping,
     IterativePE,
     OneToAll,
+    Pipeline,
     ProducerPE,
     Shuffle,
     WorkflowGraph,
 )
-from repro.mappings import TerminationPolicy, get_mapping, mapping_names
+from repro.engine import Engine, RunConfig
+from repro.mappings import (
+    Capabilities,
+    TerminationPolicy,
+    capability_table,
+    get_mapping,
+    mapping_names,
+    register_mapping,
+    select_mapping,
+)
 from repro.metrics import RunResult
 from repro.platforms import CLOUD, HPC, LAPTOP, SERVER, PlatformProfile, get_platform
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 
 def run(
-    graph: WorkflowGraph,
+    graph: Any,
     inputs: Any = None,
     processes: int = 1,
     mapping: str = "simple",
@@ -60,25 +80,30 @@ def run(
 ) -> RunResult:
     """Enact ``graph`` with the named mapping and return the run result.
 
-    This is the primary entry point of the library; see
-    :meth:`repro.mappings.base.Mapping.execute` for parameter semantics.
+    Back-compat shim over the :class:`Engine` facade: each call builds a
+    one-shot engine.  Long-lived callers should hold an :class:`Engine`
+    instead -- it resolves the platform and mapping registry once and is
+    reusable across runs.  ``mapping="auto"`` selects a mapping from the
+    graph's requirements; see :func:`repro.mappings.select_mapping`.
     """
-    engine = get_mapping(mapping)
-    return engine.execute(
-        graph,
-        inputs=inputs,
-        processes=processes,
+    engine = Engine(
+        mapping=mapping,
         platform=platform,
+        processes=processes,
         time_scale=time_scale,
         seed=seed,
         **options,
     )
+    return engine.run(graph, inputs=inputs)
 
 
 __all__ = [
     "AllToOne",
     "CLOUD",
+    "Capabilities",
+    "Chain",
     "ConsumerPE",
+    "Engine",
     "FunctionPE",
     "GenericPE",
     "GroupBy",
@@ -87,16 +112,21 @@ __all__ = [
     "IterativePE",
     "LAPTOP",
     "OneToAll",
+    "Pipeline",
     "PlatformProfile",
     "ProducerPE",
+    "RunConfig",
     "RunResult",
     "SERVER",
     "Shuffle",
     "TerminationPolicy",
     "WorkflowGraph",
     "__version__",
+    "capability_table",
     "get_mapping",
     "get_platform",
     "mapping_names",
+    "register_mapping",
     "run",
+    "select_mapping",
 ]

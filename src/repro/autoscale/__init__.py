@@ -13,7 +13,9 @@ the efficiency gains of Tables 1 and 2 come from.
   and the central ``process`` loop).
 - :mod:`~repro.autoscale.strategies` implements the two monitoring
   strategies of Section 3.2.2 (queue size for Multiprocessing, consumer
-  group average idle time for Redis) plus an EWMA rate strategy as the
+  group average idle time for Redis), the demand-normalized
+  :class:`~repro.autoscale.strategies.BacklogStrategy` used as the tuned
+  ``dyn_auto_multi`` default, and an EWMA rate strategy as the
   "future work" ablation.
 - :class:`~repro.autoscale.trace.ScalingTrace` records the
   (iteration, active size, metric) series plotted in Figure 13.
@@ -21,6 +23,7 @@ the efficiency gains of Tables 1 and 2 come from.
 
 from repro.autoscale.autoscaler import Autoscaler
 from repro.autoscale.strategies import (
+    BacklogStrategy,
     IdleTimeStrategy,
     QueueSizeStrategy,
     RateStrategy,
@@ -30,6 +33,7 @@ from repro.autoscale.trace import ScalingTrace, TracePoint
 
 __all__ = [
     "Autoscaler",
+    "BacklogStrategy",
     "IdleTimeStrategy",
     "QueueSizeStrategy",
     "RateStrategy",

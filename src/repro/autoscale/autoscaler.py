@@ -117,7 +117,11 @@ class Autoscaler:
     def auto_scale(self) -> int:
         """One monitoring step: observe, decide, apply ±1; returns decision."""
         observation = float(self.monitor())
-        decision = self.strategy.decide(observation)
+        # getattr: duck-typed strategies only need decide() + metric_name.
+        if getattr(self.strategy, "wants_active_size", False):
+            decision = self.strategy.decide(observation, self.active_size)
+        else:
+            decision = self.strategy.decide(observation)
         if decision > 0:
             self.grow(1)
         elif decision < 0:

@@ -5,8 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
-from repro import run
 from repro.core.graph import WorkflowGraph
+from repro.engine import Engine
 from repro.metrics.result import RunResult
 from repro.platforms.profiles import PlatformProfile, get_platform
 
@@ -48,21 +48,34 @@ def run_cell(
     """Run one (mapping, processes) cell, returning the median repeat."""
     config = config or BenchConfig()
     merged = {**config.extra_options, **options}
+    engine = Engine(
+        mapping=mapping,
+        platform=platform,
+        processes=processes,
+        time_scale=config.time_scale,
+        seed=config.seed,
+        **merged,
+    )
+    return _median_run(engine, factory, config.repeats)
+
+
+def _median_run(
+    engine: Engine,
+    factory: WorkflowFactory,
+    repeats: int,
+    mapping: Optional[str] = None,
+    processes: Optional[int] = None,
+) -> RunResult:
+    """Run one cell ``repeats`` times through ``engine``; keep the median."""
     results: List[RunResult] = []
-    for _ in range(max(1, config.repeats)):
+    overrides: Dict[str, Any] = {}
+    if mapping is not None:
+        overrides["mapping"] = mapping
+    if processes is not None:
+        overrides["processes"] = processes
+    for _ in range(max(1, repeats)):
         graph, inputs = factory()
-        results.append(
-            run(
-                graph,
-                inputs=inputs,
-                processes=processes,
-                mapping=mapping,
-                platform=platform,
-                time_scale=config.time_scale,
-                seed=config.seed,
-                **merged,
-            )
-        )
+        results.append(engine.run(graph, inputs=inputs, **overrides))
     results.sort(key=lambda r: r.runtime)
     return results[len(results) // 2]
 
@@ -88,12 +101,22 @@ def run_grid(
     """
     if isinstance(platform, str):
         platform = get_platform(platform)
+    config = config or BenchConfig()
+    merged = {**config.extra_options, **options}
+    # One engine for the whole grid: the platform and registry resolve
+    # once, each cell overrides mapping/processes per run.
+    engine = Engine(
+        platform=platform,
+        time_scale=config.time_scale,
+        seed=config.seed,
+        **merged,
+    )
     grid: Dict[Tuple[str, int], RunResult] = {}
     for mapping in mappings:
         for p in processes:
             if skip is not None and skip(mapping, p):
                 continue
-            grid[(mapping, p)] = run_cell(
-                factory, mapping, p, platform, config, **options
+            grid[(mapping, p)] = _median_run(
+                engine, factory, config.repeats, mapping=mapping, processes=p
             )
     return grid

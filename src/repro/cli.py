@@ -2,14 +2,15 @@
 
 Examples::
 
-    # run a workflow with a mapping
-    repro run galaxy --mapping dyn_auto_multi --processes 10 --scale 1
+    # run a workflow with a mapping (auto-selects one by default)
+    repro run galaxy --mapping auto --processes 10 --scale 1
+    repro run sentiment --mapping hybrid_redis --processes 14
 
     # regenerate one paper artifact
     repro bench fig08
     repro bench table3
 
-    # list what is available
+    # list what is available (includes the mapping capability table)
     repro list
 """
 
@@ -19,10 +20,10 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro import run
 from repro.bench.experiments import get_experiment, list_experiments
 from repro.bench.harness import BenchConfig
-from repro.mappings import mapping_names
+from repro.engine import Engine
+from repro.mappings import capability_table, mapping_names
 from repro.platforms.profiles import get_platform
 from repro.workflows import (
     build_internal_extinction_workflow,
@@ -51,7 +52,12 @@ def _build_parser() -> argparse.ArgumentParser:
 
     run_p = sub.add_parser("run", help="run one workflow with one mapping")
     run_p.add_argument("workflow", choices=sorted(_WORKFLOWS))
-    run_p.add_argument("--mapping", default="dyn_multi", choices=mapping_names())
+    run_p.add_argument(
+        "--mapping",
+        default="auto",
+        choices=["auto", *mapping_names()],
+        help="enactment mapping; 'auto' selects by workflow capability",
+    )
     run_p.add_argument("--processes", type=int, default=8)
     run_p.add_argument("--platform", default="laptop")
     run_p.add_argument("--time-scale", type=float, default=0.02)
@@ -72,15 +78,16 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     graph, inputs = _WORKFLOWS[args.workflow](args)
-    result = run(
-        graph,
-        inputs=inputs,
-        processes=args.processes,
+    engine = Engine(
         mapping=args.mapping,
         platform=get_platform(args.platform),
+        processes=args.processes,
         time_scale=args.time_scale,
         seed=args.seed,
     )
+    if args.mapping == "auto":
+        print(f"auto-selected mapping: {engine.resolve_mapping(graph)}")
+    result = engine.run(graph, inputs=inputs)
     print(
         f"workflow={result.workflow} mapping={result.mapping} "
         f"processes={result.processes}"
@@ -114,8 +121,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 def _cmd_list(_args: argparse.Namespace) -> int:
     print("workflows  :", ", ".join(sorted(_WORKFLOWS)))
-    print("mappings   :", ", ".join(mapping_names()))
     print("experiments:", ", ".join(list_experiments()))
+    print("mappings   :")
+    header = f"  {'name':<16} {'stateful':<9} {'redis':<6} {'autoscale':<10} {'dynamic':<8} description"
+    print(header)
+    for name, caps in capability_table():
+        flags = (
+            "yes" if caps.stateful else "no",
+            "yes" if caps.requires_redis else "no",
+            "yes" if caps.autoscaling else "no",
+            "yes" if caps.dynamic else "no",
+        )
+        print(
+            f"  {name:<16} {flags[0]:<9} {flags[1]:<6} {flags[2]:<10} "
+            f"{flags[3]:<8} {caps.description}"
+        )
     return 0
 
 

@@ -19,6 +19,7 @@ from repro.core.exceptions import (
     UnsupportedFeatureError,
     ValidationError,
 )
+from repro.core.fluent import Chain, InPort, OutPort, Pipeline, coerce_graph
 from repro.core.graph import Edge, WorkflowGraph
 from repro.core.groupings import AllToOne, GroupBy, Grouping, OneToAll, Shuffle, as_grouping
 from repro.core.partition import allocate_instances
@@ -28,10 +29,12 @@ from repro.core.pe import (
     GenericPE,
     IterativePE,
     ProducerPE,
+    reset_auto_names,
 )
 
 __all__ = [
     "AllToOne",
+    "Chain",
     "ConcreteWorkflow",
     "ConsumerPE",
     "Edge",
@@ -42,10 +45,13 @@ __all__ = [
     "GraphError",
     "GroupBy",
     "Grouping",
+    "InPort",
     "InsufficientProcessesError",
     "IterativePE",
     "MappingError",
     "OneToAll",
+    "OutPort",
+    "Pipeline",
     "PortError",
     "ProducerPE",
     "Shuffle",
@@ -54,4 +60,6 @@ __all__ = [
     "WorkflowGraph",
     "allocate_instances",
     "as_grouping",
+    "coerce_graph",
+    "reset_auto_names",
 ]

@@ -48,13 +48,31 @@ class WorkflowGraph:
 
     # ---------------------------------------------------------------- build
     def add(self, pe: GenericPE) -> GenericPE:
-        """Register a PE; names must be unique within the graph."""
+        """Register a PE; names must be unique within the graph.
+
+        A colliding *auto-generated* name (``Double0`` from an unnamed
+        ``Double()``) is deterministically re-slotted to the next free
+        ``ClassName<i>`` within this graph, so graph construction does not
+        depend on how many unnamed PEs earlier code created.  Colliding
+        user-chosen names stay an error.
+        """
         if not isinstance(pe, GenericPE):
             raise GraphError(f"expected a GenericPE, got {type(pe).__name__}")
         existing = self.pes.get(pe.name)
         if existing is not None and existing is not pe:
-            raise GraphError(f"duplicate PE name {pe.name!r} in graph {self.name!r}")
+            # Renaming is only safe while no other graph references the PE
+            # by its current name (edges and input specs key on names).
+            if getattr(pe, "_auto_named", False) and not getattr(pe, "_in_graph", False):
+                index = 0
+                while f"{type(pe).__name__}{index}" in self.pes:
+                    index += 1
+                pe.name = f"{type(pe).__name__}{index}"
+            else:
+                raise GraphError(
+                    f"duplicate PE name {pe.name!r} in graph {self.name!r}"
+                )
         self.pes[pe.name] = pe
+        pe._in_graph = True
         return pe
 
     def _resolve(self, pe: PELike) -> GenericPE:
@@ -95,6 +113,28 @@ class WorkflowGraph:
         )
         self.edges.append(edge)
         return edge
+
+    @classmethod
+    def from_chain(cls, *chains: Any, name: str = "workflow") -> "WorkflowGraph":
+        """Build a graph from fluent chains (``a >> b >> c``).
+
+        Multiple chains merge: PEs are deduplicated by identity and links
+        shared between chains (a common branching prefix) appear once.
+        Accepts bare PEs too, so a single-PE workflow needs no chain.
+        """
+        from repro.core.fluent import Chain
+
+        graph = cls(name)
+        for chain in chains:
+            if isinstance(chain, GenericPE):
+                graph.add(chain)
+            elif isinstance(chain, Chain):
+                chain.apply_to(graph)
+            else:
+                raise GraphError(
+                    f"from_chain expects chains or PEs, got {type(chain).__name__}"
+                )
+        return graph
 
     # ---------------------------------------------------------------- query
     def pe(self, name: str) -> GenericPE:

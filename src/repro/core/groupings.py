@@ -87,12 +87,20 @@ class GroupBy(Grouping):
         - a sequence of ints -- indices into tuple/list data (dispel4py's
           classic ``grouping=[0]`` style),
         - a sequence of strs -- keys into mapping data,
+        - a single int or str -- shorthand for a one-element sequence
+          (``GroupBy("state")`` keys on ``data["state"]``),
         - a callable -- arbitrary key extraction.
     """
 
     requires_state = True
 
-    def __init__(self, keys: Union[Sequence[int], Sequence[str], Callable[[Any], Any]]) -> None:
+    def __init__(
+        self,
+        keys: Union[int, str, Sequence[int], Sequence[str], Callable[[Any], Any]],
+    ) -> None:
+        if isinstance(keys, (int, str)):
+            # A bare string must not be iterated into per-character keys.
+            keys = (keys,)
         if callable(keys):
             self._extract: Callable[[Any], Any] = keys
             self.keys: Optional[tuple] = None

@@ -39,6 +39,20 @@ def _auto_name(cls_name: str) -> str:
     return f"{cls_name}{next(counter)}"
 
 
+def reset_auto_names() -> None:
+    """Reset the auto-naming counters (``Double0``, ``Double1``, ...).
+
+    Auto-generated PE names count up per class for the lifetime of the
+    process, so graph construction is only deterministic relative to how
+    many unnamed PEs were created before.  Test suites and long-lived
+    services that build many graphs call this between graphs to get
+    reproducible names; the repo's test fixtures do so automatically.
+    Graphs additionally re-slot colliding auto-names on
+    :meth:`~repro.core.graph.WorkflowGraph.add`.
+    """
+    _name_counters.clear()
+
+
 class GenericPE:
     """Base processing element.
 
@@ -65,6 +79,7 @@ class GenericPE:
     OUTPUT_NAME = "output"
 
     def __init__(self, name: Optional[str] = None) -> None:
+        self._auto_named = name is None
         self.name = name or _auto_name(type(self).__name__)
         self.inputconnections: Dict[str, Dict[str, Any]] = {}
         self.outputconnections: Dict[str, Dict[str, Any]] = {}
@@ -161,6 +176,30 @@ class GenericPE:
         emissions = list(self._output_buffer)
         self._output_buffer = []
         return emissions
+
+    # ------------------------------------------------------------ fluent API
+    def out(self, name: str) -> "Any":
+        """Reference a named output port for fluent wiring: ``pe.out("x") >> other``."""
+        from repro.core.fluent import OutPort
+
+        return OutPort(self, name)
+
+    def in_(self, name: str) -> "Any":
+        """Reference a named input port for fluent wiring: ``other >> pe.in_("x")``."""
+        from repro.core.fluent import InPort
+
+        return InPort(self, name)
+
+    def __rshift__(self, other: Any) -> "Any":
+        """Chain PEs through default ports: ``producer >> double >> sink``.
+
+        Returns a :class:`~repro.core.fluent.Chain`; see
+        :mod:`repro.core.fluent` for the full operator grammar (named ports,
+        inline groupings, branching).
+        """
+        from repro.core.fluent import Chain
+
+        return Chain._start(self) >> other
 
     # ---------------------------------------------------------- conveniences
     def compute(self, nominal_seconds: float) -> None:

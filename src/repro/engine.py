@@ -1,0 +1,255 @@
+"""The :class:`Engine` facade: configure once, run many workflows.
+
+The facade replaces the kwargs-heavy ``run(graph, mapping=..., ...)`` call
+with a reusable object that resolves the platform and the mapping registry
+once and is then cheap to call per workflow::
+
+    from repro import Engine, SERVER
+
+    engine = Engine(mapping="auto", platform=SERVER, processes=12,
+                    time_scale=0.02)
+    result = engine.run(graph, inputs=100)          # auto-selects mapping
+    again = engine.run(graph2, inputs=50, seed=7)   # per-run overrides
+
+``mapping="auto"`` resolves per graph through
+:func:`repro.mappings.select_mapping`: ``hybrid_redis`` for stateful
+workflows, a dynamic auto-scaling mapping otherwise.  Engines accept
+:class:`~repro.core.graph.WorkflowGraph`, :class:`~repro.core.fluent.Pipeline`
+and fluent chains alike, support the context-manager protocol, and keep a
+cache of instantiated mapping engines across runs.
+
+:class:`RunConfig` is the frozen record of the engine's settings --
+build one explicitly (``Engine.from_config``) when configurations are
+stored or passed around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Dict, Optional, Sequence, Union
+
+from repro.core.fluent import coerce_graph
+from repro.core.graph import WorkflowGraph
+from repro.mappings.base import InputSpec, Mapping
+from repro.mappings.registry import get_mapping, select_mapping
+from repro.metrics.result import RunResult
+from repro.platforms.profiles import LAPTOP, PlatformProfile, get_platform
+
+#: Sentinel mapping name triggering capability-based selection.
+AUTO = "auto"
+
+
+def _check_option_typos(options: Dict[str, Any]) -> None:
+    """Reject option keys that look like misspelled RunConfig fields.
+
+    Unknown keys normally pass through as mapping options, so a typo'd
+    ``procesess=12`` would otherwise be silently ignored and the run would
+    use the default process count.
+    """
+    import difflib
+
+    config_fields = [f.name for f in fields(RunConfig)]
+    for key in options:
+        if key in config_fields:
+            raise TypeError(
+                f"{key!r} is an engine-level setting, not a mapping option; "
+                f"set it on Engine(...) or with_options(...), not here"
+            )
+        close = difflib.get_close_matches(key, config_fields, n=1, cutoff=0.8)
+        if close:
+            raise TypeError(
+                f"unknown engine argument {key!r}; did you mean {close[0]!r}? "
+                f"(unrecognised keywords are forwarded to the mapping as "
+                f"options, so typos would be silently ignored)"
+            )
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Frozen engine configuration.
+
+    Attributes
+    ----------
+    mapping:
+        Registry name, or ``"auto"`` for capability-based selection.
+    platform:
+        A :class:`PlatformProfile` or its registry name.
+    processes:
+        Worker process budget per run.
+    time_scale:
+        Nominal-to-real multiplier for synthetic durations.
+    seed:
+        Default run seed (overridable per run).
+    prefer:
+        Ordered mapping preferences consulted by ``"auto"`` selection.
+    options:
+        Mapping-specific tuning forwarded to every run.
+    """
+
+    mapping: str = AUTO
+    platform: Union[PlatformProfile, str] = LAPTOP
+    processes: int = 1
+    time_scale: float = 1.0
+    seed: int = 0
+    prefer: Union[str, Sequence[str], None] = None
+    options: Dict[str, Any] = field(default_factory=dict)
+
+    def resolved_platform(self) -> PlatformProfile:
+        if isinstance(self.platform, PlatformProfile):
+            return self.platform
+        return get_platform(self.platform)
+
+
+class Engine:
+    """Reusable enactment facade over the mapping registry.
+
+    Parameters mirror :class:`RunConfig`; extra keyword arguments become
+    mapping options (``Engine(mapping="dyn_auto_multi", session_chunk=16)``).
+    """
+
+    def __init__(
+        self,
+        mapping: str = AUTO,
+        platform: Union[PlatformProfile, str] = LAPTOP,
+        processes: int = 1,
+        time_scale: float = 1.0,
+        seed: int = 0,
+        prefer: Union[str, Sequence[str], None] = None,
+        options: Optional[Dict[str, Any]] = None,
+        **extra_options: Any,
+    ) -> None:
+        merged_options = dict(options or {})
+        merged_options.update(extra_options)
+        _check_option_typos(merged_options)
+        self.config = RunConfig(
+            mapping=mapping,
+            platform=platform,
+            processes=processes,
+            time_scale=time_scale,
+            seed=seed,
+            prefer=prefer,
+            options=merged_options,
+        )
+        # One-time platform resolution; per-name engine cache across runs.
+        self._platform = self.config.resolved_platform()
+        self._engines: Dict[str, Mapping] = {}
+        self._closed = False
+
+    @classmethod
+    def from_config(cls, config: RunConfig) -> "Engine":
+        _check_option_typos(config.options)
+        engine = cls.__new__(cls)
+        engine.config = config
+        engine._platform = config.resolved_platform()
+        engine._engines = {}
+        engine._closed = False
+        return engine
+
+    # ----------------------------------------------------------- resolution
+    @property
+    def platform(self) -> PlatformProfile:
+        return self._platform
+
+    def resolve_mapping(
+        self, graph: Any, processes: Optional[int] = None
+    ) -> str:
+        """The mapping name a run of ``graph`` would use (selection only)."""
+        return self._resolve(
+            coerce_graph(graph),
+            self.config.mapping,
+            processes if processes is not None else self.config.processes,
+        )
+
+    def _resolve(self, graph: WorkflowGraph, name: str, processes: int) -> str:
+        """Shared selection path for :meth:`run` and :meth:`resolve_mapping`."""
+        if name != AUTO:
+            return name
+        return select_mapping(
+            graph,
+            platform=self._platform,
+            prefer=self.config.prefer,
+            processes=processes,
+        )
+
+    def _engine_for(self, name: str) -> Mapping:
+        engine = self._engines.get(name)
+        if engine is None:
+            engine = get_mapping(name)
+            self._engines[name] = engine
+        return engine
+
+    # ------------------------------------------------------------------ run
+    def run(
+        self,
+        workflow: Union[WorkflowGraph, Any],
+        inputs: InputSpec = None,
+        *,
+        processes: Optional[int] = None,
+        seed: Optional[int] = None,
+        mapping: Optional[str] = None,
+        time_scale: Optional[float] = None,
+        **options: Any,
+    ) -> RunResult:
+        """Enact a workflow (graph, pipeline, or fluent chain).
+
+        Engine-level settings apply unless overridden per run; ``options``
+        merge over (and win against) the engine's configured options.
+        """
+        if self._closed:
+            raise RuntimeError("Engine is closed; create a new one")
+        _check_option_typos(options)
+        graph = coerce_graph(workflow)
+        procs = processes if processes is not None else self.config.processes
+        name = self._resolve(
+            graph, mapping if mapping is not None else self.config.mapping, procs
+        )
+        merged = {**self.config.options, **options}
+        return self._engine_for(name).execute(
+            graph,
+            inputs=inputs,
+            processes=procs,
+            platform=self._platform,
+            time_scale=time_scale if time_scale is not None else self.config.time_scale,
+            seed=seed if seed is not None else self.config.seed,
+            **merged,
+        )
+
+    def with_options(self, **changes: Any) -> "Engine":
+        """A new engine with updated settings (the caches start fresh).
+
+        Like the constructor, keyword arguments that are not
+        :class:`RunConfig` fields become mapping options.
+        """
+        options = dict(self.config.options)
+        config_fields = {f.name for f in fields(RunConfig)}
+        field_changes = {}
+        option_changes = dict(changes.pop("options", {}))
+        for key in list(changes):
+            if key in config_fields:
+                field_changes[key] = changes.pop(key)
+            else:
+                option_changes[key] = changes.pop(key)
+        _check_option_typos(option_changes)
+        options.update(option_changes)
+        config = replace(self.config, **field_changes, options=options)
+        return Engine.from_config(config)
+
+    # -------------------------------------------------------------- context
+    def close(self) -> None:
+        """Release cached mapping engines; the engine refuses further runs."""
+        self._engines.clear()
+        self._closed = True
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"Engine(mapping={self.config.mapping!r}, "
+            f"platform={self._platform.name!r}, "
+            f"processes={self.config.processes}, {state})"
+        )

@@ -6,19 +6,37 @@ Name                      Description
 ``simple``                Sequential reference mapping.
 ``multi``                 Native static Multiprocessing mapping (baseline).
 ``dyn_multi``             Dynamic scheduling on a global queue [Liang22].
-``dyn_auto_multi``        + auto-scaling (queue-size strategy), Section 3.2.
+``dyn_auto_multi``        + auto-scaling (backlog strategy), Section 3.2.
 ``dyn_redis``             Dynamic scheduling on a Redis Stream, Section 3.1.1.
 ``dyn_auto_redis``        + auto-scaling (idle-time strategy), Section 3.2.
 ``hybrid_redis``          Stateful-aware hybrid mapping, Section 3.1.2.
 ========================  ===================================================
 
-Use :func:`get_mapping` to obtain an engine by name, or the top-level
-:func:`repro.run` convenience.
+Mappings self-register through the capability-aware registry
+(:mod:`repro.mappings.registry`): each class carries a
+:class:`~repro.mappings.registry.Capabilities` record, third-party
+backends can join via :func:`register_mapping`, and
+:func:`select_mapping` resolves ``mapping="auto"`` for a given graph and
+platform.  Use :func:`get_mapping` to obtain an engine by name, or the
+:class:`repro.Engine` facade / :func:`repro.run` convenience.
 """
 
-from typing import Dict, List, Type
-
 from repro.mappings.base import Mapping, normalize_inputs
+from repro.mappings.registry import (
+    Capabilities,
+    UnknownMappingError,
+    capability_table,
+    get_capabilities,
+    get_mapping,
+    get_mapping_class,
+    mapping_names,
+    register_mapping,
+    select_mapping,
+    unregister_mapping,
+)
+
+# Importing the implementation modules runs their @register_mapping
+# decorators, populating the registry with the built-in seven.
 from repro.mappings.dyn_auto import DynAutoMultiMapping
 from repro.mappings.dynamic import DynMultiMapping
 from repro.mappings.hybrid import HybridRedisMapping
@@ -28,35 +46,8 @@ from repro.mappings.redis_dynamic import DynRedisMapping
 from repro.mappings.simple import SimpleMapping
 from repro.mappings.termination import TerminationPolicy
 
-_MAPPINGS: Dict[str, Type[Mapping]] = {
-    cls.name: cls
-    for cls in (
-        SimpleMapping,
-        MultiMapping,
-        DynMultiMapping,
-        DynAutoMultiMapping,
-        DynRedisMapping,
-        DynAutoRedisMapping,
-        HybridRedisMapping,
-    )
-}
-
-
-def mapping_names() -> List[str]:
-    """All registered mapping names."""
-    return sorted(_MAPPINGS)
-
-
-def get_mapping(name: str) -> Mapping:
-    """Instantiate a mapping engine by registry name."""
-    try:
-        return _MAPPINGS[name]()
-    except KeyError:
-        known = ", ".join(mapping_names())
-        raise KeyError(f"unknown mapping {name!r}; known: {known}") from None
-
-
 __all__ = [
+    "Capabilities",
     "DynAutoMultiMapping",
     "DynAutoRedisMapping",
     "DynMultiMapping",
@@ -66,7 +57,14 @@ __all__ = [
     "SimpleMapping",
     "DynRedisMapping",
     "TerminationPolicy",
+    "UnknownMappingError",
+    "capability_table",
+    "get_capabilities",
     "get_mapping",
+    "get_mapping_class",
     "mapping_names",
     "normalize_inputs",
+    "register_mapping",
+    "select_mapping",
+    "unregister_mapping",
 ]

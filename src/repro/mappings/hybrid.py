@@ -37,11 +37,21 @@ from repro.mappings.base import (
     instantiate,
 )
 from repro.mappings.redis_tasks import PILL, RedisTaskBoard
+from repro.mappings.registry import Capabilities, register_mapping
 from repro.mappings.termination import TerminationPolicy
 from repro.redisim.client import RedisClient
 from repro.redisim.server import RedisServer
 
 
+@register_mapping(
+    Capabilities(
+        stateful=True,
+        dynamic=True,
+        requires_redis=True,
+        min_processes=2,
+        description="Stateful-aware hybrid: pinned state + dynamic stateless pool",
+    )
+)
 class HybridRedisMapping(Mapping):
     """Stateful-aware dynamic scheduling over Redis (``hybrid_redis``)."""
 
@@ -131,7 +141,6 @@ class HybridRedisMapping(Mapping):
         # --------------------------------------------------- stateful plane
         def stateful_worker(pe_name: str, index: int) -> None:
             worker_id = f"stateful-{pe_name}.{index}"
-            state.meter.activate(worker_id)
             client = new_client()
             try:
                 instance = instantiate(graph.pe(pe_name), index, allocation[pe_name], state.ctx)
@@ -174,7 +183,6 @@ class HybridRedisMapping(Mapping):
         def stateless_worker(index: int) -> None:
             worker_id = f"stateless-{index}"
             consumer = f"consumer-{index}"
-            state.meter.activate(worker_id)
             client = new_client()
             try:
                 copies = {
@@ -245,6 +253,13 @@ class HybridRedisMapping(Mapping):
             )
             for i in range(stateless_workers)
         ]
+        # Dedicated workers are active from launch initiation (see
+        # dynamic.py for the spawn-stagger rationale).
+        for name, threads in stateful_threads.items():
+            for idx in range(len(threads)):
+                state.meter.activate(f"stateful-{name}.{idx}")
+        for i in range(len(stateless_threads)):
+            state.meter.activate(f"stateless-{i}")
         for threads in stateful_threads.values():
             for t in threads:
                 t.start()

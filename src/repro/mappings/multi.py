@@ -34,6 +34,7 @@ from repro.mappings.base import (
     instantiate,
     marshal,
 )
+from repro.mappings.registry import Capabilities, register_mapping
 from repro.runtime.queues import CloseableQueue
 
 #: Message tags on instance queues.
@@ -41,6 +42,13 @@ _DATA = "data"
 _PILL = "pill"
 
 
+@register_mapping(
+    Capabilities(
+        stateful=True,
+        static_allocation=True,
+        description="Static Multiprocessing baseline (one process per instance)",
+    )
+)
 class MultiMapping(Mapping):
     """Static one-instance-per-process enactment."""
 
@@ -109,7 +117,6 @@ class MultiMapping(Mapping):
 
         def worker(pe_name: str, index: int) -> None:
             worker_id = f"{pe_name}.{index}"
-            state.meter.activate(worker_id)
             try:
                 instance = instantiate(graph.pe(pe_name), index, allocation[pe_name], state.ctx)
                 instance.preprocess()
@@ -149,6 +156,11 @@ class MultiMapping(Mapping):
             )
             for name, idx in concrete.all_instances()
         ]
+        # Metered from launch initiation, not first schedule: the spawn
+        # stagger is a thread-substrate artifact, and a static process is
+        # active from launch to termination (accounting module docs).
+        for name, idx in concrete.all_instances():
+            state.meter.activate(f"{name}.{idx}")
         for thread in threads:
             thread.start()
         timeout = state.options.get("join_timeout", 300.0)

@@ -30,10 +30,20 @@ from repro.autoscale.strategies import IdleTimeStrategy
 from repro.autoscale.trace import ScalingTrace
 from repro.mappings.base import EnactmentState, Mapping
 from repro.mappings.redis_dynamic import RedisWorkforce
+from repro.mappings.registry import Capabilities, register_mapping
 from repro.mappings.termination import TerminationPolicy
 from repro.runtime.workers import WorkerPool
 
 
+@register_mapping(
+    Capabilities(
+        stateful=False,
+        dynamic=True,
+        autoscaling=True,
+        requires_redis=True,
+        description="Redis dynamic scheduling + idle-time auto-scaling",
+    )
+)
 class DynAutoRedisMapping(Mapping):
     """Dynamic Redis scheduling + Algorithm 1 auto-scaler (idle-time strategy)."""
 

@@ -25,6 +25,7 @@ from repro.mappings.base import (
     instantiate,
 )
 from repro.mappings.redis_tasks import PILL, RedisTaskBoard
+from repro.mappings.registry import Capabilities, register_mapping
 from repro.mappings.termination import TerminationPolicy
 from repro.redisim.client import RedisClient
 from repro.redisim.server import RedisServer
@@ -158,6 +159,14 @@ class RedisWorkforce:
         self.board.teardown()
 
 
+@register_mapping(
+    Capabilities(
+        stateful=False,
+        dynamic=True,
+        requires_redis=True,
+        description="Dynamic scheduling on a Redis Stream consumer group",
+    )
+)
 class DynRedisMapping(Mapping):
     """Dynamic scheduling over a Redis Stream consumer group (``dyn_redis``)."""
 
@@ -172,7 +181,6 @@ class DynRedisMapping(Mapping):
 
         def run_worker(index: int) -> None:
             worker_id = f"dynredis-{index}"
-            state.meter.activate(worker_id)
             try:
                 workforce.worker_loop(worker_id, f"consumer-{index}", state.processes)
             except BaseException as exc:  # noqa: BLE001 - worker boundary
@@ -187,6 +195,9 @@ class DynRedisMapping(Mapping):
             )
             for i in range(state.processes)
         ]
+        # Active from launch initiation (see dynamic.py for the rationale).
+        for index in range(len(threads)):
+            state.meter.activate(f"dynredis-{index}")
         for thread in threads:
             thread.start()
         timeout = state.options.get("join_timeout", 300.0)

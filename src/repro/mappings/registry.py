@@ -1,0 +1,273 @@
+"""Capability-aware mapping registry.
+
+Mappings self-register with :func:`register_mapping`, declaring a
+:class:`Capabilities` record describing what they can enact.  The registry
+replaces the old closed name->class dict: third-party backends register the
+same way the built-in seven do, and :func:`select_mapping` resolves
+``mapping="auto"`` by matching a workflow's requirements (statefulness,
+platform features, process budget) against the declared capabilities.
+
+Auto-selection policy (the paper's Section 5 conclusions, encoded):
+
+- stateful workflows need state-pinning -- ``hybrid_redis`` where Redis is
+  available, the static ``multi`` mapping otherwise;
+- stateless workflows get dynamic scheduling with auto-scaling, preferring
+  the Multiprocessing substrate ("Multiprocessing optimizations outperform
+  those of Redis", Section 5.6);
+- ``prefer=...`` short-circuits the policy with the caller's ordered
+  choices, failing with :class:`UnsupportedFeatureError` (and the reasons)
+  if none of them fit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.exceptions import UnsupportedFeatureError
+from repro.core.graph import WorkflowGraph
+from repro.core.partition import minimum_processes
+from repro.platforms.profiles import PlatformProfile
+
+
+@dataclass(frozen=True)
+class Capabilities:
+    """Declarative description of what an enactment mapping supports.
+
+    Attributes
+    ----------
+    stateful:
+        Can honour stateful PEs and state-pinning groupings.
+    requires_redis:
+        Needs a Redis deployment on the target platform.
+    autoscaling:
+        Adapts its active process count at runtime (Algorithm 1).
+    dynamic:
+        Schedules tasks dynamically (no static PE-to-process pinning).
+    static_allocation:
+        Uses the static partitioning rule, which imposes a per-graph
+        process floor (one process per PE instance).
+    min_processes:
+        Flat lower bound on the process count, independent of the graph.
+    description:
+        One-line summary for ``repro list`` and the README table.
+    """
+
+    stateful: bool = True
+    requires_redis: bool = False
+    autoscaling: bool = False
+    dynamic: bool = False
+    static_allocation: bool = False
+    min_processes: int = 1
+    description: str = ""
+
+
+class UnknownMappingError(KeyError):
+    """Raised for a mapping name nobody registered (a KeyError subclass)."""
+
+
+#: Registered mappings: name -> (class, capabilities).
+_REGISTRY: Dict[str, Tuple[type, Capabilities]] = {}
+
+
+def register_mapping(
+    capabilities: Optional[Capabilities] = None,
+) -> Callable[[type], type]:
+    """Class decorator registering a :class:`Mapping` under its ``name``.
+
+    Usage::
+
+        @register_mapping(Capabilities(stateful=False, dynamic=True))
+        class MyMapping(Mapping):
+            name = "my_mapping"
+            supports_stateful = False
+
+    The capabilities record defaults to one derived from the class's
+    ``supports_stateful`` / ``requires_redis`` attributes; when given
+    explicitly it must agree with them (they gate
+    :meth:`~repro.mappings.base.Mapping.execute`), so the declaration and
+    the enforcement cannot drift apart.  Registering a second class under
+    an existing name replaces the first -- that is how out-of-tree
+    backends can shadow a built-in.
+    """
+
+    def decorate(cls: type) -> type:
+        name = getattr(cls, "name", None)
+        if not name or name == "abstract":
+            raise ValueError(
+                f"mapping class {cls.__name__} must define a unique `name` "
+                f"attribute before registration"
+            )
+        caps = capabilities
+        if caps is None:
+            doc_lines = (cls.__doc__ or "").strip().splitlines()
+            caps = Capabilities(
+                stateful=bool(getattr(cls, "supports_stateful", True)),
+                requires_redis=bool(getattr(cls, "requires_redis", False)),
+                description=doc_lines[0] if doc_lines else "",
+            )
+        if caps.stateful != bool(getattr(cls, "supports_stateful", True)):
+            raise ValueError(
+                f"mapping {name!r}: Capabilities.stateful={caps.stateful} "
+                f"contradicts {cls.__name__}.supports_stateful"
+            )
+        if caps.requires_redis != bool(getattr(cls, "requires_redis", False)):
+            raise ValueError(
+                f"mapping {name!r}: Capabilities.requires_redis="
+                f"{caps.requires_redis} contradicts {cls.__name__}.requires_redis"
+            )
+        _REGISTRY[name] = (cls, caps)
+        cls.capabilities = caps
+        return cls
+
+    return decorate
+
+
+def unregister_mapping(name: str) -> None:
+    """Remove a registration (used by tests cleaning up ad-hoc backends)."""
+    _REGISTRY.pop(name, None)
+
+
+def mapping_names() -> List[str]:
+    """All registered mapping names."""
+    return sorted(_REGISTRY)
+
+
+def get_mapping_class(name: str) -> type:
+    """The registered class for ``name`` (without instantiating it)."""
+    try:
+        return _REGISTRY[name][0]
+    except KeyError:
+        known = ", ".join(mapping_names())
+        raise UnknownMappingError(
+            f"unknown mapping {name!r}; known: {known}"
+        ) from None
+
+
+def get_capabilities(name: str) -> Capabilities:
+    """The declared capabilities of a registered mapping."""
+    try:
+        return _REGISTRY[name][1]
+    except KeyError:
+        known = ", ".join(mapping_names())
+        raise UnknownMappingError(
+            f"unknown mapping {name!r}; known: {known}"
+        ) from None
+
+
+def get_mapping(name: str):
+    """Instantiate a mapping engine by registry name."""
+    return get_mapping_class(name)()
+
+
+def capability_table() -> List[Tuple[str, Capabilities]]:
+    """(name, capabilities) rows, sorted by name -- for CLI/docs rendering."""
+    return [(name, _REGISTRY[name][1]) for name in mapping_names()]
+
+
+# --------------------------------------------------------------- selection
+
+#: Auto-selection preference orders (first feasible candidate wins).
+_STATEFUL_ORDER = ("hybrid_redis", "multi", "simple")
+_STATELESS_ORDER = (
+    "dyn_auto_multi",
+    "dyn_auto_redis",
+    "dyn_multi",
+    "dyn_redis",
+    "multi",
+    "simple",
+)
+
+
+def _rejection_reason(
+    name: str,
+    caps: Capabilities,
+    stateful: bool,
+    platform: Optional[PlatformProfile],
+    graph: WorkflowGraph,
+    processes: Optional[int],
+) -> Optional[str]:
+    """Why ``name`` cannot enact this workflow, or None if it can."""
+    if stateful and not caps.stateful:
+        return (
+            f"{name!r} supports only stateless workflows, but "
+            f"{graph.name!r} contains stateful PEs or state-pinning groupings"
+        )
+    if caps.requires_redis and platform is not None and not platform.redis_available:
+        return (
+            f"{name!r} needs Redis, which platform {platform.name!r} "
+            f"does not provide"
+        )
+    if processes is not None:
+        floor = caps.min_processes
+        if caps.static_allocation:
+            floor = max(floor, minimum_processes(graph))
+        if processes < floor:
+            return (
+                f"{name!r} needs at least {floor} processes for "
+                f"{graph.name!r}, got {processes}"
+            )
+    return None
+
+
+def select_mapping(
+    graph: WorkflowGraph,
+    platform: Optional[PlatformProfile] = None,
+    prefer: Union[str, Sequence[str], None] = None,
+    processes: Optional[int] = None,
+) -> str:
+    """Resolve ``mapping="auto"``: the best registered mapping for ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        The abstract workflow (its statefulness drives the choice).
+    platform:
+        Target platform; Redis-dependent mappings are skipped where
+        ``platform.redis_available`` is False.
+    prefer:
+        A mapping name, or an ordered sequence of names, to try before the
+        default policy.  If none of the preferred names is feasible the
+        selection *fails* with :class:`UnsupportedFeatureError` explaining
+        each rejection, rather than silently falling back.
+    processes:
+        Optional process budget; mappings whose floor exceeds it are
+        skipped (e.g. static ``multi`` needs one process per instance).
+
+    Returns
+    -------
+    The registry name of the selected mapping.
+    """
+    stateful = graph.is_stateful()
+    if prefer is not None:
+        candidates: Iterable[str] = (prefer,) if isinstance(prefer, str) else tuple(prefer)
+        if not candidates:
+            raise ValueError(
+                "prefer=... is empty; pass None for automatic selection"
+            )
+        explicit = True
+    else:
+        candidates = _STATEFUL_ORDER if stateful else _STATELESS_ORDER
+        explicit = False
+
+    reasons: List[str] = []
+    for name in candidates:
+        if name not in _REGISTRY:
+            if explicit:
+                known = ", ".join(mapping_names())
+                raise UnknownMappingError(
+                    f"unknown mapping {name!r} in prefer=...; known: {known}"
+                )
+            continue
+        reason = _rejection_reason(
+            name, get_capabilities(name), stateful, platform, graph, processes
+        )
+        if reason is None:
+            return name
+        reasons.append(reason)
+
+    detail = "; ".join(reasons) if reasons else "no mappings are registered"
+    raise UnsupportedFeatureError(
+        f"no {'preferred ' if explicit else ''}mapping can enact workflow "
+        f"{graph.name!r}: {detail}"
+    )

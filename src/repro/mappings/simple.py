@@ -21,8 +21,15 @@ from repro.mappings.base import (
     dispatch_emissions,
     instantiate,
 )
+from repro.mappings.registry import Capabilities, register_mapping
 
 
+@register_mapping(
+    Capabilities(
+        stateful=True,
+        description="Sequential reference mapping (the semantic oracle)",
+    )
+)
 class SimpleMapping(Mapping):
     """Sequential in-process enactment (dispel4py's *Simple* mapping)."""
 

@@ -44,13 +44,14 @@ def build_internal_extinction_workflow(
     """
     if scale < 1:
         raise ValueError(f"scale must be >= 1, got {scale}")
-    graph = WorkflowGraph(f"galaxy_extinction_{scale}x{'_heavy' if heavy else ''}")
-    read = graph.add(ReadRaDec())
-    vo = graph.add(GetVOTable(query_latency=query_latency, heavy=heavy))
-    filt = graph.add(FilterColumns(heavy=heavy))
-    ext = graph.add(InternalExtinction())
-    graph.connect(read, "output", vo, "input")
-    graph.connect(vo, "output", filt, "input")
-    graph.connect(filt, "output", ext, "input")
+    chain = (
+        ReadRaDec()
+        >> GetVOTable(query_latency=query_latency, heavy=heavy)
+        >> FilterColumns(heavy=heavy)
+        >> InternalExtinction()
+    )
+    graph = WorkflowGraph.from_chain(
+        chain, name=f"galaxy_extinction_{scale}x{'_heavy' if heavy else ''}"
+    )
     inputs = list(range(scale * GALAXIES_PER_X))
     return graph, inputs

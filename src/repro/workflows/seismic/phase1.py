@@ -45,20 +45,16 @@ def build_seismic_phase1_workflow(
     """
     if stations < 1:
         raise ValueError(f"stations must be >= 1, got {stations}")
-    graph = WorkflowGraph("seismic_phase1")
-    stages = [
-        ReadTraces(samples=samples),
-        Decimate(),
-        Detrend(),
-        Demean(),
-        RemoveResponse(),
-        Bandpass(),
-        Whiten(),
-        CalcFFT(),
-        WriteOutput(out_dir=out_dir),
-    ]
-    for pe in stages:
-        graph.add(pe)
-    for upstream, downstream in zip(stages, stages[1:]):
-        graph.connect(upstream, "output", downstream, "input")
+    chain = (
+        ReadTraces(samples=samples)
+        >> Decimate()
+        >> Detrend()
+        >> Demean()
+        >> RemoveResponse()
+        >> Bandpass()
+        >> Whiten()
+        >> CalcFFT()
+        >> WriteOutput(out_dir=out_dir)
+    )
+    graph = WorkflowGraph.from_chain(chain, name="seismic_phase1")
     return graph, list(range(stations))

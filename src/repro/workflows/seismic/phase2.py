@@ -45,27 +45,21 @@ def build_seismic_phase2_workflow(
     """
     if stations < 2:
         raise ValueError("phase 2 needs at least 2 stations")
-    graph = WorkflowGraph("seismic_phase2")
-    stages = [
-        ReadTraces(samples=samples),
-        Decimate(),
-        Detrend(),
-        Demean(),
-        RemoveResponse(),
-        Bandpass(),
-        Whiten(),
-        CalcFFT(),
-    ]
-    for pe in stages:
-        graph.add(pe)
-    for upstream, downstream in zip(stages, stages[1:]):
-        graph.connect(upstream, "output", downstream, "input")
-    aggregator = graph.add(PairAggregator())
+    aggregator = PairAggregator()
     xcorr = CrossCorrelation()
     xcorr.numprocesses = xcorr_instances
-    graph.add(xcorr)
-    writer = graph.add(WriteXCorr())
-    graph.connect(stages[-1], "output", aggregator, "input")
-    graph.connect(aggregator, "pairs", xcorr, "input")
-    graph.connect(xcorr, "output", writer, "input")
+    chain = (
+        ReadTraces(samples=samples)
+        >> Decimate()
+        >> Detrend()
+        >> Demean()
+        >> RemoveResponse()
+        >> Bandpass()
+        >> Whiten()
+        >> CalcFFT()
+        >> aggregator
+    )
+    # The aggregator emits station pairs on its named "pairs" port.
+    tail = aggregator.out("pairs") >> xcorr >> WriteXCorr()
+    graph = WorkflowGraph.from_chain(chain, tail, name="seismic_phase2")
     return graph, list(range(stations))

@@ -45,26 +45,18 @@ def build_sentiment_workflow(
     # Pre-warm the deterministic dataset on the driver thread (the paper
     # reads a file-backed dataset; workers should not synthesize articles).
     generate_articles(articles, seed=seed)
-    graph = WorkflowGraph("sentiment_news")
-    read = graph.add(ReadArticles(seed=seed))
+    read = ReadArticles(seed=seed)
     afinn = SentimentAFINN()
     afinn.numprocesses = sentiment_instances
-    graph.add(afinn)
-    token = graph.add(TokenizeWD())
     swn3 = SentimentSWN3()
     swn3.numprocesses = sentiment_instances
-    graph.add(swn3)
-    find_afinn = graph.add(FindState(name="findStateAFINN"))
-    find_swn3 = graph.add(FindState(name="findStateSWN3"))
-    happy = graph.add(HappyState(instances=happy_instances))
-    top3 = graph.add(Top3Happiest(instances=top3_instances))
+    happy = HappyState(instances=happy_instances)
+    top3 = Top3Happiest(instances=top3_instances)
 
-    graph.connect(read, "output", afinn, "input")
-    graph.connect(read, "output", token, "input")
-    graph.connect(token, "output", swn3, "input")
-    graph.connect(afinn, "output", find_afinn, "input")
-    graph.connect(swn3, "output", find_swn3, "input")
-    graph.connect(find_afinn, "output", happy, "input")
-    graph.connect(find_swn3, "output", happy, "input")
-    graph.connect(happy, "output", top3, "input")
+    # Two scorer branches fan out of the reader and fan back into the
+    # stateful happy-State aggregator (Figure 7); merged chains share the
+    # reader and aggregator by identity.
+    afinn_branch = read >> afinn >> FindState(name="findStateAFINN") >> happy >> top3
+    swn3_branch = read >> TokenizeWD() >> swn3 >> FindState(name="findStateSWN3") >> happy
+    graph = WorkflowGraph.from_chain(afinn_branch, swn3_branch, name="sentiment_news")
     return graph, list(range(articles))

@@ -3,10 +3,73 @@
 import pytest
 
 from repro.autoscale.strategies import (
+    BacklogStrategy,
     IdleTimeStrategy,
     QueueSizeStrategy,
     RateStrategy,
 )
+
+
+class TestBacklogStrategy:
+    def test_grows_when_backlog_exceeds_active(self):
+        assert BacklogStrategy().decide(10, active_size=4) == +1
+
+    def test_shrinks_when_backlog_below_active(self):
+        assert BacklogStrategy().decide(3, active_size=8) == -1
+
+    def test_holds_at_parity(self):
+        assert BacklogStrategy().decide(4, active_size=4) == 0
+
+    def test_min_queue_forces_shrink(self):
+        assert BacklogStrategy(min_queue=5).decide(5, active_size=1) == -1
+
+    def test_factors_create_dead_band(self):
+        s = BacklogStrategy(grow_factor=2.0, shrink_factor=0.5)
+        assert s.decide(6, active_size=4) == 0    # between 2 and 8
+        assert s.decide(9, active_size=4) == +1
+        assert s.decide(1, active_size=4) == -1
+
+    def test_invalid_factors_rejected(self):
+        with pytest.raises(ValueError):
+            BacklogStrategy(grow_factor=0.5, shrink_factor=1.0)
+        with pytest.raises(ValueError):
+            BacklogStrategy(min_queue=-1)
+
+    def test_wants_active_size_flag(self):
+        assert BacklogStrategy.wants_active_size
+        assert not QueueSizeStrategy.wants_active_size
+
+    def test_duck_typed_strategy_without_flag_still_works(self):
+        """The autoscaler must not require wants_active_size on custom
+        strategies that only implement decide() + metric_name."""
+        from repro.autoscale.autoscaler import Autoscaler
+        from repro.runtime.workers import WorkerPool
+
+        class Minimal:
+            metric_name = "q"
+
+            def decide(self, observation):
+                return 0
+
+        pool = WorkerPool(2, name="duck")
+        try:
+            scaler = Autoscaler(pool, Minimal(), monitor=lambda: 1.0)
+            assert scaler.auto_scale() == 0
+        finally:
+            pool.close()
+            pool.join(timeout=5)
+
+    def test_tracks_min_of_queue_and_pool(self):
+        """Active size converges towards min(queue, pool) under the
+        autoscaler's ±1 stepping."""
+        s = BacklogStrategy()
+        active = 4
+        for _ in range(20):
+            active += s.decide(100, active_size=active)
+        assert active == 24  # kept growing: huge backlog
+        for _ in range(30):
+            active = max(1, active + s.decide(2, active_size=active))
+        assert active <= 2  # drained queue: shrinks to demand
 
 
 class TestQueueSizeStrategy:

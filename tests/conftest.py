@@ -5,8 +5,16 @@ from __future__ import annotations
 import pytest
 
 from repro.core.graph import WorkflowGraph
-from repro.core.pe import ConsumerPE, GenericPE, IterativePE
+from repro.core.pe import ConsumerPE, GenericPE, IterativePE, reset_auto_names
 from repro.runtime.clock import Clock
+
+
+@pytest.fixture(autouse=True)
+def _deterministic_auto_names():
+    """Reset per-class auto-name counters so every test builds ``Double0``
+    from the first unnamed ``Double()``, regardless of test order."""
+    reset_auto_names()
+    yield
 
 
 #: time_scale used across the suite: nominal seconds become ~2 ms.

@@ -1,0 +1,281 @@
+"""Tests for the fluent, operator-based graph construction layer."""
+
+import pytest
+
+from repro.core.exceptions import GraphError, PortError
+from repro.core.fluent import Chain, Pipeline, coerce_graph
+from repro.core.graph import WorkflowGraph
+from repro.core.groupings import AllToOne, GroupBy, Shuffle
+from repro.core.pe import GenericPE, reset_auto_names
+from tests.conftest import Collect, Double, Emit
+
+
+class TwoPort(GenericPE):
+    """Two inputs, two outputs -- default ports are ambiguous."""
+
+    def __init__(self, name=None):
+        super().__init__(name)
+        self._add_input("left")
+        self._add_input("right")
+        self._add_output("big")
+        self._add_output("small")
+
+    def process(self, inputs):
+        return None
+
+
+class TestChainOperator:
+    def test_two_pe_chain(self):
+        a, b = Emit(name="a"), Double(name="b")
+        chain = a >> b
+        assert isinstance(chain, Chain)
+        graph = WorkflowGraph.from_chain(chain, name="two")
+        assert set(graph.pes) == {"a", "b"}
+        [edge] = graph.edges
+        assert (edge.src, edge.src_port, edge.dst, edge.dst_port) == (
+            "a", "output", "b", "input",
+        )
+
+    def test_three_pe_chain_defaults(self):
+        a, b, c = Emit(name="a"), Double(name="b"), Collect(name="c")
+        graph = WorkflowGraph.from_chain(a >> b >> c)
+        assert [(e.src, e.dst) for e in graph.edges] == [("a", "b"), ("b", "c")]
+
+    def test_chain_matches_connect_api(self):
+        """Fluent and string construction produce identical graphs."""
+        a1, b1 = Emit(name="a"), Double(name="b")
+        fluent = WorkflowGraph.from_chain(a1 >> b1, name="g")
+        a2, b2 = Emit(name="a"), Double(name="b")
+        classic = WorkflowGraph("g")
+        classic.connect(a2, "output", b2, "input")
+        assert sorted(fluent.pes) == sorted(classic.pes)
+        assert [
+            (e.src, e.src_port, e.dst, e.dst_port) for e in fluent.edges
+        ] == [(e.src, e.src_port, e.dst, e.dst_port) for e in classic.edges]
+
+    def test_named_ports(self):
+        t, hi, lo = TwoPort(name="t"), Double(name="hi"), Double(name="lo")
+        graph = WorkflowGraph.from_chain(
+            t.out("big") >> hi.in_("input"),
+            t.out("small") >> lo,
+        )
+        assert {(e.src_port, e.dst) for e in graph.edges} == {
+            ("big", "hi"), ("small", "lo"),
+        }
+
+    def test_inline_grouping(self):
+        a, b = Emit(name="a"), Double(name="b")
+        graph = WorkflowGraph.from_chain(a >> GroupBy([0]) >> b)
+        [edge] = graph.edges
+        assert isinstance(edge.grouping, GroupBy)
+
+    def test_inline_string_key_grouping(self):
+        """GroupBy("state") keys on the single element, not its characters."""
+        grouping = GroupBy("state")
+        assert grouping.keys == ("state",)
+        assert grouping.key_of({"state": "TX"}) == ("TX",)
+
+    def test_grouping_then_grouping_rejected(self):
+        a = Emit(name="a")
+        with pytest.raises(GraphError, match="two groupings"):
+            (a >> Shuffle()) >> AllToOne()
+
+    def test_dangling_grouping_rejected_at_build(self):
+        a = Emit(name="a")
+        chain = a >> AllToOne()
+        with pytest.raises(GraphError, match="dangling grouping"):
+            WorkflowGraph.from_chain(chain)
+
+    def test_ambiguous_default_output_rejected(self):
+        t, b = TwoPort(name="t"), Double(name="b")
+        with pytest.raises(PortError, match="output port"):
+            t >> b
+
+    def test_ambiguous_default_input_rejected(self):
+        a, t = Emit(name="a"), TwoPort(name="t")
+        with pytest.raises(PortError, match="input port"):
+            a >> t
+
+    def test_unknown_port_rejected(self):
+        with pytest.raises(PortError):
+            Emit(name="a").out("nope")
+        with pytest.raises(PortError):
+            Emit(name="a").in_("nope")
+
+    def test_bad_operand_rejected(self):
+        with pytest.raises(TypeError, match="cannot chain"):
+            Emit(name="a") >> 42
+
+    def test_branches_with_distinct_groupings_keep_both_edges(self):
+        """Same ports wired twice with different groupings must create two
+        edges (matching connect()), not silently drop one."""
+        src, mid, sink = Emit(name="src"), Double(name="mid"), Collect(name="sink")
+        head = src >> mid
+        graph = WorkflowGraph.from_chain(
+            head >> GroupBy([0]) >> sink,
+            head >> Shuffle() >> sink,
+        )
+        mid_to_sink = [e for e in graph.edges if e.src == "mid" and e.dst == "sink"]
+        assert len(mid_to_sink) == 2
+        assert {type(e.grouping) for e in mid_to_sink} == {GroupBy, Shuffle}
+
+    def test_branching_shares_prefix(self):
+        """A chain prefix can be reused; merged graphs dedupe shared links."""
+        src, mid = Emit(name="src"), Double(name="mid")
+        s1, s2 = Collect(name="s1"), Collect(name="s2")
+        head = src >> mid
+        graph = WorkflowGraph.from_chain(head >> s1, head >> s2, name="fan")
+        assert len(graph.edges) == 3  # src->mid once, mid->s1, mid->s2
+        assert {e.dst for e in graph.edges} == {"mid", "s1", "s2"}
+
+    def test_chain_join(self):
+        a, b = Emit(name="a"), Double(name="b")
+        c, d = Double(name="c"), Collect(name="d")
+        left, right = a >> b, c >> d
+        graph = WorkflowGraph.from_chain(left >> right)
+        assert [(e.src, e.dst) for e in graph.edges] == [
+            ("a", "b"), ("b", "c"), ("c", "d"),
+        ]
+
+    def test_chain_join_at_shared_pe_merges_without_self_loop(self):
+        """c1 >> c2 where c2 starts at c1's tail merges at the shared PE."""
+        a, b, c = Emit(name="a"), Double(name="b"), Collect(name="c")
+        joined = (a >> b) >> (b >> c)
+        graph = WorkflowGraph.from_chain(joined)
+        assert [(e.src, e.dst) for e in graph.edges] == [("a", "b"), ("b", "c")]
+        graph.validate()  # no self-loop, no cycle
+
+    def test_chain_join_with_grouping_onto_shared_pe_rejected(self):
+        a, b, c = Emit(name="a"), Double(name="b"), Collect(name="c")
+        with pytest.raises(GraphError, match="no connection to attach"):
+            (a >> b >> GroupBy([0])) >> (b >> c)
+
+    def test_chain_is_immutable_under_extension(self):
+        a, b, c = Emit(name="a"), Double(name="b"), Double(name="c")
+        head = a >> b
+        extended = head >> c
+        assert len(head.links) == 1
+        assert len(extended.links) == 2
+
+
+class TestPipeline:
+    def test_then_chains_stages(self):
+        p = Pipeline("demo").then(Emit(name="a")).then(Double(name="b"))
+        graph = p.build()
+        assert graph.name == "demo"
+        assert [(e.src, e.dst) for e in graph.edges] == [("a", "b")]
+
+    def test_then_accepts_grouping_stage(self):
+        p = Pipeline("g").then(Emit(name="a"), GroupBy([0]), Double(name="b"))
+        [edge] = p.build().edges
+        assert isinstance(edge.grouping, GroupBy)
+
+    def test_cannot_start_with_grouping(self):
+        with pytest.raises(GraphError, match="cannot start with a grouping"):
+            Pipeline("g").then(GroupBy([0]))
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(GraphError, match="no stages"):
+            Pipeline("empty").build()
+
+    def test_from_chain(self):
+        a, b = Emit(name="a"), Double(name="b")
+        graph = Pipeline.from_chain(a >> b, name="fc").build()
+        assert graph.name == "fc"
+        assert set(graph.pes) == {"a", "b"}
+
+    def test_pending_grouping_before_merging_branch_rejected(self):
+        """A grouping stage cannot silently vanish when the next stage
+        merges as a branch instead of chaining on."""
+        a, b = Emit(name="a"), Double(name="b")
+        pipeline = Pipeline("s").then(a).then(GroupBy([0]))
+        with pytest.raises(GraphError, match="no connection to attach"):
+            pipeline.then(a >> b)
+
+    def test_then_merges_overlapping_branch(self):
+        src, happy = Emit(name="src"), Collect(name="happy")
+        left = src >> Double(name="l") >> happy
+        right = src >> Double(name="r") >> happy
+        graph = Pipeline("fanin").then(left).then(right).build()
+        assert len(graph.edges) == 4
+        assert {e.src for e in graph.edges} == {"src", "l", "r"}
+
+    def test_build_validates(self):
+        lonely = Pipeline("x").then(Emit(name="a") >> Double(name="b"))
+        lonely.then(Collect(name="zzz"))  # disconnected from the chain?
+        # 'zzz' is chained onto the tail by then(), so validation passes.
+        graph = lonely.build()
+        assert len(graph.edges) == 2
+
+
+class TestCoerceGraph:
+    def test_accepts_graph(self):
+        g = WorkflowGraph("g")
+        g.add(Emit(name="a"))
+        assert coerce_graph(g) is g
+
+    def test_accepts_chain_and_pipeline(self):
+        a, b = Emit(name="a"), Double(name="b")
+        assert isinstance(coerce_graph(a >> b), WorkflowGraph)
+        assert isinstance(coerce_graph(Pipeline("p").then(Emit(name="x"))), WorkflowGraph)
+
+    def test_accepts_bare_pe(self):
+        graph = coerce_graph(Emit(name="solo"))
+        assert set(graph.pes) == {"solo"}
+
+    def test_rejects_other(self):
+        with pytest.raises(TypeError):
+            coerce_graph("a graph, honest")
+
+    def test_chain_coercion_validates(self):
+        """Invalid chain-built graphs fail fast, matching Pipeline.build."""
+        from repro.core.exceptions import ValidationError
+
+        a, b = Emit(name="a"), Double(name="b")
+        cyclic = (a >> b) >> (b >> a)  # merges to a->b plus b->a: a cycle
+        with pytest.raises(ValidationError, match="cycle"):
+            coerce_graph(cyclic)
+
+
+class TestAutoNaming:
+    def test_reset_restarts_counters(self):
+        reset_auto_names()
+        first = Double().name
+        reset_auto_names()
+        second = Double().name
+        assert first == second == "Double0"
+
+    def test_graph_reslots_colliding_auto_names(self):
+        reset_auto_names()
+        auto = Double()  # Double0
+        graph = WorkflowGraph("g")
+        graph.add(Double(name="Double0"))
+        graph.add(auto)  # collides, re-slots deterministically
+        assert auto.name == "Double1"
+        assert set(graph.pes) == {"Double0", "Double1"}
+
+    def test_pe_bound_to_another_graph_is_not_renamed(self):
+        """Re-slotting must not mutate a PE another graph references by
+        name -- that would corrupt the first graph's edges/input keys."""
+        reset_auto_names()
+        shared = Emit()  # Emit0
+        graph_a = WorkflowGraph("a")
+        graph_a.connect(shared, "output", Double(name="d"), "input")
+        graph_b = WorkflowGraph("b")
+        graph_b.add(Emit(name="Emit0"))
+        with pytest.raises(GraphError, match="duplicate"):
+            graph_b.add(shared)
+        assert shared.name == "Emit0"  # graph A stays intact
+
+    def test_user_name_collision_still_errors(self):
+        graph = WorkflowGraph("g")
+        graph.add(Double(name="d"))
+        with pytest.raises(GraphError, match="duplicate"):
+            graph.add(Double(name="d"))
+
+    def test_same_construction_is_deterministic(self):
+        def build():
+            reset_auto_names()
+            return WorkflowGraph.from_chain(Emit() >> Double() >> Collect())
+
+        assert sorted(build().pes) == sorted(build().pes)

@@ -55,6 +55,35 @@ class TestNormalizeInputs:
         with pytest.raises(MappingError):
             normalize_inputs(self._graph(), {"sink": [1]})
 
+    def test_list_to_portless_source_rejected(self):
+        """A value list cannot drive a source that declares no input port."""
+        from repro.core.pe import ProducerPE
+
+        class Pump(ProducerPE):
+            def _process(self, data):
+                return 1
+
+        g = WorkflowGraph("portless")
+        g.connect(Pump(name="pump"), "output", Collect(name="sink"), "input")
+        with pytest.raises(MappingError, match="no input port"):
+            normalize_inputs(g, [1, 2, 3])
+
+    def test_int_drives_portless_source_with_empty_inputs(self):
+        from repro.core.pe import ProducerPE
+
+        class Pump(ProducerPE):
+            def _process(self, data):
+                return 1
+
+        g = WorkflowGraph("portless")
+        g.connect(Pump(name="pump"), "output", Collect(name="sink"), "input")
+        provided = normalize_inputs(g, 3)
+        assert provided == {"pump": [{}, {}, {}]}
+
+    def test_dict_referencing_non_source_pe_message(self):
+        with pytest.raises(MappingError, match="non-source"):
+            normalize_inputs(self._graph(), {"sink": 2})
+
     def test_multiple_roots_each_get_items(self):
         g = WorkflowGraph("two-roots")
         sink = Collect(name="sink")

@@ -64,6 +64,13 @@ from repro.mappings import (
 )
 from repro.metrics import RunResult
 from repro.platforms import CLOUD, HPC, LAPTOP, SERVER, PlatformProfile, get_platform
+from repro.state import (
+    CrashInjector,
+    InMemoryStateStore,
+    RedisSnapshotStore,
+    Snapshot,
+    StateStore,
+)
 
 __version__ = "1.1.0"
 
@@ -103,22 +110,27 @@ __all__ = [
     "Capabilities",
     "Chain",
     "ConsumerPE",
+    "CrashInjector",
     "Engine",
     "FunctionPE",
     "GenericPE",
     "GroupBy",
     "Grouping",
     "HPC",
+    "InMemoryStateStore",
     "IterativePE",
     "LAPTOP",
     "OneToAll",
     "Pipeline",
     "PlatformProfile",
     "ProducerPE",
+    "RedisSnapshotStore",
     "RunConfig",
     "RunResult",
     "SERVER",
     "Shuffle",
+    "Snapshot",
+    "StateStore",
     "TerminationPolicy",
     "WorkflowGraph",
     "__version__",

@@ -29,7 +29,7 @@ from repro.autoscale.strategies import (
     RateStrategy,
     ScalingStrategy,
 )
-from repro.autoscale.trace import ScalingTrace, TracePoint
+from repro.autoscale.trace import ScalingTrace, TraceEvent, TracePoint
 
 __all__ = [
     "Autoscaler",
@@ -39,5 +39,6 @@ __all__ = [
     "RateStrategy",
     "ScalingStrategy",
     "ScalingTrace",
+    "TraceEvent",
     "TracePoint",
 ]

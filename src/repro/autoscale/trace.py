@@ -26,6 +26,20 @@ class TracePoint:
     decision: int  # +1 grew, -1 shrank, 0 held
 
 
+@dataclass(frozen=True)
+class TraceEvent:
+    """A discrete lifecycle event annotated onto a trace.
+
+    Used by the recovery machinery (``hybrid_redis`` checkpoint/restore) to
+    record crash detections, re-pins and restores alongside -- or, for
+    non-autoscaling mappings, instead of -- the scaling iterations.
+    """
+
+    timestamp: float
+    kind: str  # "crash" / "respawn" / "restore" / ...
+    detail: str = ""
+
+
 class ScalingTrace:
     """Thread-safe record of auto-scaler decisions.
 
@@ -38,7 +52,22 @@ class ScalingTrace:
     def __init__(self, metric_name: str = "metric") -> None:
         self.metric_name = metric_name
         self._points: List[TracePoint] = []
+        self._events: List[TraceEvent] = []
         self._lock = threading.Lock()
+
+    def note(self, timestamp: float, kind: str, detail: str = "") -> None:
+        """Record a lifecycle event (crash, respawn, restore, ...)."""
+        with self._lock:
+            self._events.append(TraceEvent(timestamp=timestamp, kind=kind, detail=detail))
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        with self._lock:
+            return list(self._events)
+
+    def events_of(self, kind: str) -> List[TraceEvent]:
+        """All recorded events of one kind, in order."""
+        return [event for event in self.events if event.kind == kind]
 
     def record(
         self, timestamp: float, active_size: int, metric: float, decision: int

@@ -27,6 +27,7 @@ from repro.mappings import capability_table, mapping_names
 from repro.platforms.profiles import get_platform
 from repro.workflows import (
     build_internal_extinction_workflow,
+    build_recoverable_sentiment_workflow,
     build_seismic_phase1_workflow,
     build_seismic_phase2_workflow,
     build_sentiment_workflow,
@@ -39,6 +40,9 @@ _WORKFLOWS = {
     "seismic": lambda args: build_seismic_phase1_workflow(stations=args.stations),
     "seismic2": lambda args: build_seismic_phase2_workflow(stations=min(args.stations, 16)),
     "sentiment": lambda args: build_sentiment_workflow(articles=args.articles),
+    "sentiment-recoverable": lambda args: build_recoverable_sentiment_workflow(
+        articles=args.articles
+    ),
 }
 
 
@@ -66,6 +70,14 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--heavy", action="store_true", help="galaxy heavy variant")
     run_p.add_argument("--stations", type=int, default=50)
     run_p.add_argument("--articles", type=int, default=200)
+    run_p.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=None,
+        metavar="N",
+        help="checkpoint pinned stateful instances every N deliveries "
+        "(enables crash recovery on recoverable mappings)",
+    )
 
     bench_p = sub.add_parser("bench", help="regenerate one paper figure/table")
     bench_p.add_argument("experiment", choices=list_experiments())
@@ -84,6 +96,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         processes=args.processes,
         time_scale=args.time_scale,
         seed=args.seed,
+        checkpoint_interval=args.checkpoint_interval,
     )
     if args.mapping == "auto":
         print(f"auto-selected mapping: {engine.resolve_mapping(graph)}")
@@ -98,10 +111,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
     for key, values in sorted(result.outputs.items()):
         print(f"  {key}: {len(values)} items")
     if result.trace is not None:
+        if len(result.trace):
+            print(
+                f"auto-scaler  = {len(result.trace)} iterations, "
+                f"active size range [{result.trace.min_active()}, "
+                f"{result.trace.max_active()}]"
+            )
+        events = result.trace.events
+        if events:
+            print(f"recovery     = {len(events)} events")
+            for event in events:
+                print(f"  t={event.timestamp:.3f} {event.kind}: {event.detail}")
+    checkpoints = result.counters.get("checkpoints", 0)
+    if checkpoints:
         print(
-            f"auto-scaler  = {len(result.trace)} iterations, "
-            f"active size range [{result.trace.min_active()}, "
-            f"{result.trace.max_active()}]"
+            f"checkpoints  = {checkpoints} taken, "
+            f"{result.counters.get('restores', 0)} restores, "
+            f"{result.counters.get('crashes', 0)} crashes"
         )
     return 0
 
@@ -123,7 +149,10 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     print("workflows  :", ", ".join(sorted(_WORKFLOWS)))
     print("experiments:", ", ".join(list_experiments()))
     print("mappings   :")
-    header = f"  {'name':<16} {'stateful':<9} {'redis':<6} {'autoscale':<10} {'dynamic':<8} description"
+    header = (
+        f"  {'name':<16} {'stateful':<9} {'redis':<6} {'autoscale':<10} "
+        f"{'dynamic':<8} {'recover':<8} description"
+    )
     print(header)
     for name, caps in capability_table():
         flags = (
@@ -131,10 +160,11 @@ def _cmd_list(_args: argparse.Namespace) -> int:
             "yes" if caps.requires_redis else "no",
             "yes" if caps.autoscaling else "no",
             "yes" if caps.dynamic else "no",
+            "yes" if caps.recoverable else "no",
         )
         print(
             f"  {name:<16} {flags[0]:<9} {flags[1]:<6} {flags[2]:<10} "
-            f"{flags[3]:<8} {caps.description}"
+            f"{flags[3]:<8} {flags[4]:<8} {caps.description}"
         )
     return 0
 

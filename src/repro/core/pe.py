@@ -128,6 +128,51 @@ class GenericPE:
                 return True
         return False
 
+    # ----------------------------------------------------------- state hooks
+    #: Attributes that describe the PE or its wiring rather than accumulated
+    #: processing state; the default get_state/set_state skip them.
+    _STATE_EXCLUDE = frozenset(
+        {
+            "name",
+            "_auto_named",
+            "inputconnections",
+            "outputconnections",
+            "numprocesses",
+            "stateful",
+            "instance_id",
+            "instance_index",
+            "num_instances",
+            "ctx",
+            "rng",
+            "_output_buffer",
+        }
+    )
+
+    def get_state(self) -> Dict[str, Any]:
+        """Capture this instance's mutable state for checkpointing.
+
+        The default captures every instance attribute that is not part of
+        the PE's structural description (ports, instance wiring, run
+        context) -- so accumulators like ``self.counts`` or ``self._totals``
+        are checkpointed without any per-PE code.  Override together with
+        :meth:`set_state` when the state needs trimming or is not directly
+        picklable (open handles, caches derivable from elsewhere).
+        """
+        return {
+            key: value
+            for key, value in self.__dict__.items()
+            if key not in self._STATE_EXCLUDE
+        }
+
+    def set_state(self, state: Dict[str, Any]) -> None:
+        """Restore state previously captured by :meth:`get_state`.
+
+        Called after ``__init__`` and ``preprocess`` on a freshly pinned
+        instance (e.g. when a crashed worker's instance is re-pinned to a
+        new process), before any further data is processed.
+        """
+        self.__dict__.update(state)
+
     # ------------------------------------------------------------- lifecycle
     def preprocess(self) -> None:
         """Hook run once per instance before any data is processed."""

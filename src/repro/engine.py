@@ -28,10 +28,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields, replace
 from typing import Any, Dict, Optional, Sequence, Union
 
+from repro.core.exceptions import UnsupportedFeatureError
 from repro.core.fluent import coerce_graph
 from repro.core.graph import WorkflowGraph
 from repro.mappings.base import InputSpec, Mapping
-from repro.mappings.registry import get_mapping, select_mapping
+from repro.mappings.registry import get_capabilities, get_mapping, select_mapping
 from repro.metrics.result import RunResult
 from repro.platforms.profiles import LAPTOP, PlatformProfile, get_platform
 
@@ -82,6 +83,16 @@ class RunConfig:
         Default run seed (overridable per run).
     prefer:
         Ordered mapping preferences consulted by ``"auto"`` selection.
+    checkpoint_interval:
+        Deliveries between state checkpoints of pinned stateful instances
+        (recoverable mappings only).  Setting it enables checkpoint/restore
+        on ``hybrid_redis``; ``None`` (default) leaves recovery off unless
+        ``state_store`` is provided.
+    state_store:
+        Where instance snapshots live (a :class:`repro.state.StateStore`).
+        Providing one enables checkpoint/restore at the default interval;
+        ``None`` with checkpointing enabled uses a Redis-backed store on
+        the run's own deployment.
     options:
         Mapping-specific tuning forwarded to every run.
     """
@@ -92,7 +103,18 @@ class RunConfig:
     time_scale: float = 1.0
     seed: int = 0
     prefer: Union[str, Sequence[str], None] = None
+    checkpoint_interval: Optional[int] = None
+    state_store: Optional[Any] = None
     options: Dict[str, Any] = field(default_factory=dict)
+
+    def recovery_options(self) -> Dict[str, Any]:
+        """The checkpoint/restore settings as mapping options (set fields only)."""
+        opts: Dict[str, Any] = {}
+        if self.checkpoint_interval is not None:
+            opts["checkpoint_interval"] = self.checkpoint_interval
+        if self.state_store is not None:
+            opts["state_store"] = self.state_store
+        return opts
 
     def resolved_platform(self) -> PlatformProfile:
         if isinstance(self.platform, PlatformProfile):
@@ -115,6 +137,8 @@ class Engine:
         time_scale: float = 1.0,
         seed: int = 0,
         prefer: Union[str, Sequence[str], None] = None,
+        checkpoint_interval: Optional[int] = None,
+        state_store: Optional[Any] = None,
         options: Optional[Dict[str, Any]] = None,
         **extra_options: Any,
     ) -> None:
@@ -128,6 +152,8 @@ class Engine:
             time_scale=time_scale,
             seed=seed,
             prefer=prefer,
+            checkpoint_interval=checkpoint_interval,
+            state_store=state_store,
             options=merged_options,
         )
         # One-time platform resolution; per-name engine cache across runs.
@@ -203,7 +229,21 @@ class Engine:
         name = self._resolve(
             graph, mapping if mapping is not None else self.config.mapping, procs
         )
-        merged = {**self.config.options, **options}
+        merged = {**self.config.recovery_options(), **self.config.options, **options}
+        if "checkpoint_interval" in merged or "state_store" in merged:
+            # Silently dropping the knobs would leave the user believing
+            # their pinned state is crash-safe when it is not.  State
+            # checkpointing needs a mapping that both pins stateful
+            # instances and recovers them -- reclaim-only recoverability
+            # (dyn_redis) does not qualify.
+            caps = get_capabilities(name)
+            if not (caps.recoverable and caps.stateful):
+                raise UnsupportedFeatureError(
+                    f"checkpoint/restore requested (checkpoint_interval/"
+                    f"state_store) but mapping {name!r} does not support "
+                    f"stateful checkpointing; use hybrid_redis or drop the "
+                    f"recovery options"
+                )
         return self._engine_for(name).execute(
             graph,
             inputs=inputs,

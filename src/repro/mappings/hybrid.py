@@ -17,6 +17,32 @@ are closed in topological order (each instance flushes its aggregate in
 drained before the next stage closes); finally the stateless workers are
 released with poison pills.
 
+Crash recovery (``repro.state``)
+--------------------------------
+Pinned local state dies with its worker, so the mapping optionally runs the
+stateful plane in *recoverable* mode (enabled by any of the
+``checkpoint_interval`` / ``state_store`` / ``crash_injector`` options):
+
+- deliveries into private queues are **sequence-numbered** (RPUSHSEQ) and
+  consumed with BLMOVE into a per-instance *pending log*, so nothing is
+  destroyed before its effect is checkpointed;
+- every ``checkpoint_interval`` deliveries (and whenever the queue goes
+  idle with uncommitted work) the instance snapshots its state -- tagged
+  with the last applied sequence number -- into the
+  :class:`~repro.state.store.StateStore`, then atomically trims the
+  committed entries from the pending log and releases their
+  outstanding-work credits;
+- a supervisor on the coordinator thread detects silently-dead pinned
+  workers, **re-pins** the instance on a fresh worker, restores the latest
+  snapshot and replays the pending log (entries at or below the snapshot's
+  sequence are deduplicated) before resuming the private queue.
+
+Deliveries between a checkpoint and a crash are therefore applied exactly
+once to the instance's state, but their downstream emissions may be sent
+twice (at-least-once): the outstanding-work credit of an uncommitted
+delivery is only released by the checkpoint that covers it, which also
+keeps the drain proof honest across crashes.
+
 The paper evaluates this mapping against ``multi`` on the Sentiment
 Analysis workflow (Figure 12, Table 3), where it reaches as low as 32% of
 the baseline runtime.
@@ -25,7 +51,7 @@ the baseline runtime.
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.autoscale.trace import ScalingTrace
 from repro.core.concrete import ConcreteWorkflow, Delivery
@@ -36,11 +62,18 @@ from repro.mappings.base import (
     dispatch_emissions,
     instantiate,
 )
-from repro.mappings.redis_tasks import PILL, RedisTaskBoard
+from repro.mappings.redis_tasks import PILL, RedisTaskBoard, reclaim_threshold_ms
 from repro.mappings.registry import Capabilities, register_mapping
 from repro.mappings.termination import TerminationPolicy
 from repro.redisim.client import RedisClient
 from repro.redisim.server import RedisServer
+from repro.state import (
+    CrashInjector,
+    DEFAULT_CHECKPOINT_INTERVAL,
+    InjectedCrash,
+    RedisSnapshotStore,
+    StateStore,
+)
 
 
 @register_mapping(
@@ -48,6 +81,7 @@ from repro.redisim.server import RedisServer
         stateful=True,
         dynamic=True,
         requires_redis=True,
+        recoverable=True,
         min_processes=2,
         description="Stateful-aware hybrid: pinned state + dynamic stateless pool",
     )
@@ -64,6 +98,29 @@ class HybridRedisMapping(Mapping):
         policy: TerminationPolicy = state.options.get("termination", TerminationPolicy())
         server: RedisServer = state.options.get("redis_server") or RedisServer()
 
+        # ------------------------------------------------- recovery options
+        checkpoint_interval: Optional[int] = state.options.get("checkpoint_interval")
+        state_store: Optional[StateStore] = state.options.get("state_store")
+        injector: Optional[CrashInjector] = state.options.get("crash_injector")
+        recover_opt = state.options.get("recover")
+        recovery: bool = (
+            bool(recover_opt)
+            if recover_opt is not None
+            else (
+                checkpoint_interval is not None
+                or state_store is not None
+                or injector is not None
+            )
+        )
+        if recovery and checkpoint_interval is None:
+            checkpoint_interval = DEFAULT_CHECKPOINT_INTERVAL
+        if checkpoint_interval is not None and checkpoint_interval < 1:
+            raise MappingError(
+                f"checkpoint_interval must be >= 1, got {checkpoint_interval}"
+            )
+        max_respawns: int = state.options.get("max_respawns", 3)
+        trace = ScalingTrace(metric_name="recovery events") if recovery else None
+
         def new_client() -> RedisClient:
             return RedisClient(
                 server,
@@ -74,6 +131,23 @@ class HybridRedisMapping(Mapping):
         namespace = f"repro:{graph.name}"
         board = RedisTaskBoard(new_client(), namespace=namespace)
         board.setup()
+        own_store = False
+        if recovery and state_store is None:
+            state_store = RedisSnapshotStore(new_client(), namespace=namespace)
+            own_store = True
+
+        def store_for(client: RedisClient) -> StateStore:
+            """The run's snapshot store, one connection per worker.
+
+            Only the mapping's *own* default store (which lives on the run's
+            Redis deployment) is rebound onto the worker's client; a
+            user-supplied store keeps its own connection and deployment --
+            rebinding it here would silently divert snapshots onto the
+            run's server.
+            """
+            if own_store:
+                return state_store.for_client(client)
+            return state_store
 
         # ---------------------------------------------------- allocation
         stateful_names = {pe.name for pe in graph.stateful_pes()}
@@ -100,18 +174,35 @@ class HybridRedisMapping(Mapping):
 
         abort = threading.Event()
 
+        def push_private(target, key: str, message: tuple) -> None:
+            """Push one message onto a private queue (client or pipeline).
+
+            The single place that decides plain vs sequence-tagged pushes:
+            in recoverable mode every private-queue message -- deliveries,
+            root seeds and close markers alike -- must carry a sequence
+            number, or the consumer's replay cursor would desynchronize.
+            """
+            if recovery:
+                target.rpush_seq(key, message)
+            else:
+                target.rpush(key, message)
+
         # ------------------------------------------------------ dispatching
         def queue_deliveries(pipe, deliveries: List[Delivery]) -> None:
             """Append routed deliveries to a pipeline (one round trip).
 
             Private queues bypass the global stream entirely; the shared
             outstanding counter still covers them so the drain proof holds
-            across both planes.
+            across both planes.  In recoverable mode private-queue pushes
+            are sequence-tagged (RPUSHSEQ) so consumers get a stable replay
+            cursor.
             """
             for d in deliveries:
                 pipe.incr(board.counter_key)
                 if d.dst in stateful_names:
-                    pipe.rpush(private_key(d.dst, d.dst_index), ("data", d.dst_port, d.data))
+                    push_private(
+                        pipe, private_key(d.dst, d.dst_index), ("data", d.dst_port, d.data)
+                    )
                     state.counters.inc("private_puts")
                 else:
                     pipe.xadd(board.stream_key, {"task": (d.dst, d.dst_port, d.data)})
@@ -127,6 +218,19 @@ class HybridRedisMapping(Mapping):
 
         # ------------------------------------------------------ seed roots
         seed_client = new_client()
+        # Run-scoped hygiene before anything is seeded: a reused Redis
+        # deployment (shared ``redis_server`` + same graph name) may hold a
+        # previous run's private queues, pending logs and snapshots -- e.g.
+        # after an aborted run whose dead workers never cleaned up.  Left in
+        # place they would be replayed into (and contaminate) this run, and
+        # their checkpoint commits would release credits this run's counter
+        # never held.
+        for name in stateful_names:
+            for idx in range(allocation[name]):
+                key = private_key(name, idx)
+                seed_client.delete(key, f"{key}:pending")
+                if recovery:
+                    state_store.delete(f"{name}.{idx}")
         rr_counter = 0
         for root, items in state.provided.items():
             for item in items:
@@ -134,52 +238,120 @@ class HybridRedisMapping(Mapping):
                     index = rr_counter % allocation[root]
                     rr_counter += 1
                     seed_client.incr(board.counter_key)
-                    seed_client.rpush(private_key(root, index), ("root", item, None))
+                    push_private(seed_client, private_key(root, index), ("root", item, None))
                 else:
                     board.put((root, None, item), client=seed_client)
 
         # --------------------------------------------------- stateful plane
+        #: Live thread per pinned instance; replaced on re-pin.
+        threads: Dict[Tuple[str, int], threading.Thread] = {}
+        completed: Set[Tuple[str, int]] = set()
+        respawns: Dict[Tuple[str, int], int] = {}
+        plane_lock = threading.Lock()
+
         def stateful_worker(pe_name: str, index: int) -> None:
+            slot = (pe_name, index)
             worker_id = f"stateful-{pe_name}.{index}"
             client = new_client()
             try:
                 instance = instantiate(graph.pe(pe_name), index, allocation[pe_name], state.ctx)
                 instance.preprocess()
-                key = private_key(pe_name, index)
-                timeout = max(0.005, state.clock.to_real(policy.poll_interval))
-                while not abort.is_set():
-                    hit = client.blpop(key, timeout=timeout)
-                    if hit is None:
-                        continue
-                    _key, message = hit
-                    kind = message[0]
-                    if kind == "close":
-                        break
-                    if kind == "root":
-                        emissions = instance._invoke(message[1])
-                    else:
-                        _kind, port, data = message
-                        emissions = instance._invoke({port: data})
-                    state.counters.inc("stateful_tasks")
-                    # One pipelined round trip: children + completion.
-                    pipe = client.pipeline()
-                    queue_deliveries(
-                        pipe,
-                        dispatch_emissions(
-                            concrete, state.collector, pe_name, index, emissions
-                        ),
+                if recovery:
+                    self._run_recoverable(
+                        state, instance, pe_name, index,
+                        client=client,
+                        key=private_key(pe_name, index),
+                        board=board,
+                        policy=policy,
+                        abort=abort,
+                        queue_deliveries=queue_deliveries,
+                        concrete=concrete,
+                        store=store_for(client),
+                        checkpoint_interval=checkpoint_interval,
+                        injector=injector,
+                        trace=trace,
                     )
-                    pipe.decr(board.counter_key)
-                    pipe.execute()
+                else:
+                    self._run_plain(
+                        state, instance, pe_name, index,
+                        client=client,
+                        key=private_key(pe_name, index),
+                        board=board,
+                        policy=policy,
+                        abort=abort,
+                        queue_deliveries=queue_deliveries,
+                        concrete=concrete,
+                        injector=injector,
+                    )
                 # Flush the aggregate state (top-3 tables, per-state sums...)
                 route_and_dispatch(pe_name, index, instance._flush_postprocess(), client)
+                with plane_lock:
+                    completed.add(slot)
+            except InjectedCrash:
+                # Simulated process death: no error report, no abort -- the
+                # supervisor notices the silent exit and re-pins.
+                state.counters.inc("crashes")
+                if trace is not None:
+                    trace.note(state.clock.now(), "crash", f"{pe_name}.{index}")
             except BaseException as exc:  # noqa: BLE001 - worker boundary
                 state.record_error(exc)
                 abort.set()
+                with plane_lock:
+                    completed.add(slot)
             finally:
                 state.meter.deactivate(worker_id)
 
+        def spawn(pe_name: str, index: int) -> None:
+            thread = threading.Thread(
+                target=stateful_worker,
+                args=(pe_name, index),
+                name=f"hybrid-stateful-{pe_name}.{index}",
+                daemon=True,
+            )
+            with plane_lock:
+                threads[(pe_name, index)] = thread
+            state.meter.activate(f"stateful-{pe_name}.{index}")
+            thread.start()
+
+        def supervise() -> None:
+            """Re-pin instances whose workers died without completing.
+
+            Only the coordinator thread calls this, so detection and
+            respawn cannot race with each other.
+            """
+            if not recovery or abort.is_set():
+                return
+            with plane_lock:
+                dead = [
+                    slot
+                    for slot, thread in threads.items()
+                    if not thread.is_alive() and slot not in completed
+                ]
+            for pe_name, index in dead:
+                slot = (pe_name, index)
+                attempts = respawns.get(slot, 0)
+                if attempts >= max_respawns:
+                    state.record_error(
+                        MappingError(
+                            f"stateful instance {pe_name}.{index} crashed more "
+                            f"than {max_respawns} times; giving up"
+                        )
+                    )
+                    abort.set()
+                    return
+                respawns[slot] = attempts + 1
+                state.counters.inc("respawns")
+                if trace is not None:
+                    trace.note(
+                        state.clock.now(),
+                        "respawn",
+                        f"{pe_name}.{index} attempt {attempts + 1}",
+                    )
+                spawn(pe_name, index)
+
         # -------------------------------------------------- stateless plane
+        reclaim_idle_ms = reclaim_threshold_ms(state.options, state.clock)
+
         def stateless_worker(index: int) -> None:
             worker_id = f"stateless-{index}"
             consumer = f"consumer-{index}"
@@ -192,6 +364,26 @@ class HybridRedisMapping(Mapping):
                 }
                 for pe in copies.values():
                     pe.preprocess()
+
+                def run_task(entry_id: str, task) -> None:
+                    pe_name, port, payload = task
+                    inputs = payload if port is None else {port: payload}
+                    pipe = client.pipeline()
+                    try:
+                        emissions = copies[pe_name]._invoke(inputs)
+                        state.counters.inc("tasks")
+                        queue_deliveries(
+                            pipe,
+                            dispatch_emissions(
+                                concrete, state.collector, pe_name, 0, emissions
+                            ),
+                        )
+                    finally:
+                        pipe.xack_decr(
+                            board.stream_key, board.group, entry_id, board.counter_key
+                        )
+                        pipe.execute()
+
                 base_block = max(1, int(state.clock.to_real(policy.poll_interval) * 1000))
                 empty_streak = 0
                 while not abort.is_set():
@@ -201,28 +393,31 @@ class HybridRedisMapping(Mapping):
                     fetched = board.fetch(consumer, client, block_ms=block_ms)
                     if not fetched:
                         empty_streak += 1
+                        # Reclaim on the first starved poll past the retry
+                        # budget, then every 8th: in recoverable runs the
+                        # counter legitimately stays > 0 between stateful
+                        # checkpoints, and a per-poll XAUTOCLAIM from every
+                        # starved worker would be pure overhead.
+                        if (
+                            empty_streak >= policy.empty_retries
+                            and (empty_streak - policy.empty_retries) % 8 == 0
+                            and not board.is_drained(client)
+                        ):
+                            recovered = board.recover_stale(
+                                consumer, client, min_idle_ms=reclaim_idle_ms
+                            )
+                            for entry_id, task in recovered:
+                                state.counters.inc("reclaimed")
+                                run_task(entry_id, task)
+                            if recovered:
+                                empty_streak = 0
                         continue
                     empty_streak = 0
                     for entry_id, task in fetched:
                         if task is PILL:
                             board.ack(entry_id, client)
                             return
-                        pe_name, port, payload = task
-                        inputs = payload if port is None else {port: payload}
-                        pipe = client.pipeline()
-                        try:
-                            emissions = copies[pe_name]._invoke(inputs)
-                            state.counters.inc("tasks")
-                            queue_deliveries(
-                                pipe,
-                                dispatch_emissions(
-                                    concrete, state.collector, pe_name, 0, emissions
-                                ),
-                            )
-                        finally:
-                            pipe.xack(board.stream_key, board.group, entry_id)
-                            pipe.decr(board.counter_key)
-                            pipe.execute()
+                        run_task(entry_id, task)
             except BaseException as exc:  # noqa: BLE001 - worker boundary
                 state.record_error(exc)
                 abort.set()
@@ -230,20 +425,12 @@ class HybridRedisMapping(Mapping):
                 state.meter.deactivate(worker_id)
 
         # ----------------------------------------------------- run the show
-        stateful_threads: Dict[str, List[threading.Thread]] = {}
-        for name in graph.topological_order():
-            if name not in stateful_names:
-                continue
-            threads = []
-            for idx in range(allocation[name]):
-                t = threading.Thread(
-                    target=stateful_worker,
-                    args=(name, idx),
-                    name=f"hybrid-stateful-{name}.{idx}",
-                    daemon=True,
-                )
-                threads.append(t)
-            stateful_threads[name] = threads
+        stateful_slots = [
+            (name, idx)
+            for name in graph.topological_order()
+            if name in stateful_names
+            for idx in range(allocation[name])
+        ]
         stateless_threads = [
             threading.Thread(
                 target=stateless_worker,
@@ -255,23 +442,23 @@ class HybridRedisMapping(Mapping):
         ]
         # Dedicated workers are active from launch initiation (see
         # dynamic.py for the spawn-stagger rationale).
-        for name, threads in stateful_threads.items():
-            for idx in range(len(threads)):
-                state.meter.activate(f"stateful-{name}.{idx}")
+        for name, idx in stateful_slots:
+            state.meter.activate(f"stateful-{name}.{idx}")
         for i in range(len(stateless_threads)):
             state.meter.activate(f"stateless-{i}")
-        for threads in stateful_threads.values():
-            for t in threads:
-                t.start()
+        for name, idx in stateful_slots:
+            spawn(name, idx)
         for t in stateless_threads:
             t.start()
 
         join_timeout = state.options.get("join_timeout", 300.0)
+        join_slice = max(0.01, state.clock.to_real(policy.poll_interval))
         coordinator_client = new_client()
 
         def wait_drained() -> None:
             deadline = state.clock.now() + join_timeout
             while not board.is_drained(coordinator_client):
+                supervise()
                 if abort.is_set():
                     raise MappingError("hybrid run aborted by worker error")
                 if state.clock.now() > deadline:
@@ -281,6 +468,24 @@ class HybridRedisMapping(Mapping):
                     )
                 state.clock.sleep(policy.poll_interval)
 
+        def join_instance(pe_name: str, index: int, deadline: float) -> None:
+            """Wait for one pinned instance to close, supervising re-pins."""
+            slot = (pe_name, index)
+            while True:
+                with plane_lock:
+                    thread = threads[slot]
+                    done = slot in completed
+                if done and not thread.is_alive():
+                    return
+                thread.join(timeout=join_slice)
+                supervise()
+                if abort.is_set():
+                    raise MappingError("hybrid run aborted during staged close")
+                if state.clock.now() > deadline:
+                    raise MappingError(
+                        f"stateful worker {pe_name}.{index} hung at close"
+                    )
+
         try:
             wait_drained()
             # Staged close of the stateful plane in topological order: each
@@ -289,11 +494,10 @@ class HybridRedisMapping(Mapping):
                 if name not in stateful_names:
                     continue
                 for idx in range(allocation[name]):
-                    coordinator_client.rpush(private_key(name, idx), ("close",))
-                for t in stateful_threads[name]:
-                    t.join(timeout=join_timeout)
-                    if t.is_alive():
-                        raise MappingError(f"stateful worker {t.name} hung at close")
+                    push_private(coordinator_client, private_key(name, idx), ("close",))
+                deadline = state.clock.now() + join_timeout
+                for idx in range(allocation[name]):
+                    join_instance(name, idx, deadline)
                 wait_drained()
         except MappingError as exc:
             state.record_error(exc)
@@ -307,4 +511,158 @@ class HybridRedisMapping(Mapping):
                     abort.set()
                     break
             board.teardown()
-        return None
+        return trace
+
+    # ------------------------------------------------------- consumption
+    @staticmethod
+    def _invoke_message(instance, message) -> List[Tuple[str, object]]:
+        """Run one private-queue message through the instance."""
+        if message[0] == "root":
+            return instance._invoke(message[1])
+        _kind, port, data = message
+        return instance._invoke({port: data})
+
+    def _run_plain(
+        self, state, instance, pe_name, index, *,
+        client, key, board, policy, abort, queue_deliveries, concrete,
+        injector=None,
+    ) -> None:
+        """Non-recoverable consumption: destructive BLPOP, per-message decr.
+
+        ``injector`` is honoured here too (with ``recover=False``) so the
+        pre-recovery failure mode -- a dead pinned worker stalling the run
+        until the join timeout -- stays demonstrable.
+        """
+        iid = instance.instance_id
+        timeout = max(0.005, state.clock.to_real(policy.poll_interval))
+        while not abort.is_set():
+            hit = client.blpop(key, timeout=timeout)
+            if hit is None:
+                continue
+            _key, message = hit
+            if message[0] == "close":
+                return
+            if injector is not None:
+                injector.record_invocation(iid)
+            emissions = self._invoke_message(instance, message)
+            state.counters.inc("stateful_tasks")
+            if injector is not None:
+                injector.maybe_crash(iid, "post-process")
+            # One pipelined round trip: children + completion.
+            pipe = client.pipeline()
+            queue_deliveries(
+                pipe,
+                dispatch_emissions(concrete, state.collector, pe_name, index, emissions),
+            )
+            pipe.decr(board.counter_key)
+            pipe.execute()
+            if injector is not None:
+                injector.maybe_crash(iid, "post-dispatch")
+
+    def _run_recoverable(
+        self, state, instance, pe_name, index, *,
+        client, key, board, policy, abort, queue_deliveries, concrete,
+        store, checkpoint_interval, injector, trace,
+    ) -> None:
+        """Checkpointed consumption: BLMOVE into a pending log, sequence
+        dedup, interval/idle checkpoints that release credits in bulk.
+
+        The outstanding-work credit of a delivery is *not* released when it
+        is processed but when a checkpoint covers it -- so a crash can never
+        lose a credited delivery, and the coordinator's drain proof remains
+        exact across crashes and re-pins.
+        """
+        iid = instance.instance_id
+        pending_key = f"{key}:pending"
+        timeout = max(0.005, state.clock.to_real(policy.poll_interval))
+        last_seq = 0
+        uncommitted_entries = 0  # pending-log entries not yet trimmed
+        uncommitted_credits = 0  # outstanding-counter credits not yet released
+
+        snap = store.load(iid)
+        if snap is not None:
+            instance.set_state(snap.state)
+            last_seq = snap.seq
+            state.counters.inc("restores")
+            if trace is not None:
+                trace.note(state.clock.now(), "restore", f"{iid} seq={snap.seq}")
+
+        def checkpoint() -> None:
+            nonlocal uncommitted_entries, uncommitted_credits
+            if uncommitted_entries == 0:
+                return
+            # Snapshot first, then trim+release atomically: a crash between
+            # the two leaves entries <= last_seq in the pending log, which
+            # replay skips (dedup) but still counts for the next trim.
+            if not store.save(iid, last_seq, instance.get_state()):
+                # A newer snapshot exists: this writer is stale (the
+                # instance was re-pinned and advanced elsewhere).  The
+                # pending log and credits now belong to the live owner --
+                # touch nothing.
+                return
+            pipe = client.pipeline()
+            pipe.ltrim(pending_key, uncommitted_entries, -1)
+            if uncommitted_credits:
+                pipe.decrby(board.counter_key, uncommitted_credits)
+            pipe.execute()
+            uncommitted_entries = 0
+            uncommitted_credits = 0
+            state.counters.inc("checkpoints")
+
+        def process(seq: int, message) -> None:
+            nonlocal last_seq, uncommitted_entries, uncommitted_credits
+            uncommitted_entries += 1
+            uncommitted_credits += 1
+            if seq <= last_seq:
+                # Already reflected in the restored snapshot: skip the state
+                # mutation, but keep the entry in this commit window so its
+                # credit is released by the next checkpoint.
+                state.counters.inc("deduplicated")
+                return
+            if injector is not None:
+                injector.record_invocation(iid)
+            emissions = self._invoke_message(instance, message)
+            state.counters.inc("stateful_tasks")
+            if injector is not None:
+                injector.maybe_crash(iid, "post-process")
+            pipe = client.pipeline()
+            queue_deliveries(
+                pipe,
+                dispatch_emissions(concrete, state.collector, pe_name, index, emissions),
+            )
+            pipe.execute()
+            last_seq = seq
+            if injector is not None:
+                injector.maybe_crash(iid, "post-dispatch")
+
+        # Replay what a crashed predecessor left behind: every entry still
+        # in the pending log holds an unreleased credit, whether or not its
+        # state effect survived in the snapshot.
+        replayed_close = False
+        backlog = client.lrange_seq(pending_key)
+        if backlog:
+            state.counters.inc("replayed", len(backlog))
+        for seq, message in backlog:
+            if message[0] == "close":
+                replayed_close = True
+                break
+            process(seq, message)
+        if backlog:
+            checkpoint()
+
+        while not replayed_close and not abort.is_set():
+            hit = client.blmove_seq(key, pending_key, timeout=timeout)
+            if hit is None:
+                # Idle: commit stragglers so the drain proof can complete
+                # even when the stream ends mid-interval.
+                checkpoint()
+                continue
+            seq, message = hit
+            if message[0] == "close":
+                break
+            process(seq, message)
+            if uncommitted_entries >= checkpoint_interval:
+                checkpoint()
+        checkpoint()
+        # The close marker (which carries no credit) is all that can remain.
+        client.delete(pending_key)

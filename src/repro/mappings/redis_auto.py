@@ -41,6 +41,7 @@ from repro.runtime.workers import WorkerPool
         dynamic=True,
         autoscaling=True,
         requires_redis=True,
+        recoverable=True,
         description="Redis dynamic scheduling + idle-time auto-scaling",
     )
 )

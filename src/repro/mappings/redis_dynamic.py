@@ -24,7 +24,7 @@ from repro.mappings.base import (
     dispatch_emissions,
     instantiate,
 )
-from repro.mappings.redis_tasks import PILL, RedisTaskBoard
+from repro.mappings.redis_tasks import PILL, RedisTaskBoard, reclaim_threshold_ms
 from repro.mappings.registry import Capabilities, register_mapping
 from repro.mappings.termination import TerminationPolicy
 from repro.redisim.client import RedisClient
@@ -38,6 +38,9 @@ class RedisWorkforce:
         self.state = state
         self.policy = policy
         self.server: RedisServer = state.options.get("redis_server") or RedisServer()
+        #: How long a pending entry must sit unacknowledged before a starved
+        #: peer adopts it (XAUTOCLAIM); see :func:`reclaim_threshold_ms`.
+        self.reclaim_idle_ms: float = reclaim_threshold_ms(state.options, state.clock)
         self.board = RedisTaskBoard(
             self._new_client(), namespace=f"repro:{state.graph.name}"
         )
@@ -112,6 +115,25 @@ class RedisWorkforce:
             self.board.put_pills(count)
             self.state.counters.inc("pills", count)
 
+    def reclaim_stale(
+        self, copies: Dict[str, GenericPE], consumer: str, client: RedisClient
+    ) -> int:
+        """Adopt and run tasks stuck with dead consumers (the recovery path).
+
+        A consumer that dies between XREADGROUP and XACK leaves its entries
+        in the PEL, where no ``>`` read will ever see them again -- without
+        reclaim the outstanding counter never drains and the run hangs.
+        Starved workers call this once the queue looks empty but work is
+        still outstanding.  Returns the number of tasks recovered.
+        """
+        recovered = self.board.recover_stale(
+            consumer, client, min_idle_ms=self.reclaim_idle_ms
+        )
+        for entry_id, task in recovered:
+            self.state.counters.inc("reclaimed")
+            self.process_task(copies, entry_id, task, client)
+        return len(recovered)
+
     def worker_loop(self, worker_key: str, consumer: str, total_workers: int) -> None:
         """Dedicated-worker loop (dyn_redis): run until termination."""
         copies = self.graph_copy(worker_key)
@@ -126,9 +148,20 @@ class RedisWorkforce:
             if not fetched:
                 empty_streak += 1
                 self.state.counters.inc("empty_polls")
-                if empty_streak >= self.policy.empty_retries and self.is_terminated():
-                    self.broadcast_pills(total_workers)
-                    return
+                if empty_streak >= self.policy.empty_retries:
+                    if self.is_terminated():
+                        self.broadcast_pills(total_workers)
+                        return
+                    # Starved but not drained: the missing work may be
+                    # pending under a dead consumer.  Attempt reclaim on
+                    # the first starved poll past the retry budget, then
+                    # every 8th -- not per poll, which would add one
+                    # XAUTOCLAIM round trip per interval per worker for
+                    # the whole starved tail of a run.
+                    if (empty_streak - self.policy.empty_retries) % 8 == 0 and (
+                        self.reclaim_stale(copies, consumer, client)
+                    ):
+                        empty_streak = 0
                 continue
             empty_streak = 0
             for entry_id, task in fetched:
@@ -146,6 +179,8 @@ class RedisWorkforce:
         while processed < chunk:
             fetched = self.board.fetch(consumer, client, block_ms=block_ms)
             if not fetched:
+                if not self.is_terminated():
+                    processed += self.reclaim_stale(copies, consumer, client)
                 break
             for entry_id, task in fetched:
                 if task is PILL:
@@ -164,6 +199,7 @@ class RedisWorkforce:
         stateful=False,
         dynamic=True,
         requires_redis=True,
+        recoverable=True,
         description="Dynamic scheduling on a Redis Stream consumer group",
     )
 )

@@ -22,6 +22,23 @@ from repro.redisim.client import RedisClient
 PILL = "__pill__"
 
 
+def reclaim_threshold_ms(options, clock) -> float:
+    """Resolve the XAUTOCLAIM idle threshold shared by the Redis mappings.
+
+    ``reclaim_idle`` is in *nominal* seconds -- scaled by the clock like
+    every other time knob, so the margin over task service times (nominal
+    too) survives any time_scale; the default sits far above the paper's
+    second-scale tasks, so only genuinely dead consumers are robbed.  A
+    100 ms real floor prevents sub-millisecond theft windows at test-speed
+    scales.  Tests can pin the threshold directly with ``reclaim_idle_ms``
+    (real milliseconds).
+    """
+    reclaim_idle = options.get("reclaim_idle", 30.0)
+    return options.get(
+        "reclaim_idle_ms", max(1000.0 * clock.to_real(reclaim_idle), 100.0)
+    )
+
+
 class RedisTaskBoard:
     """Global task stream + outstanding counter on one Redis deployment.
 
@@ -107,13 +124,19 @@ class RedisTaskBoard:
         client/server round trip (and one server-lock acquisition) each,
         which under many workers dominates fine-grained task streams; a
         real deployment pipelines them for exactly the same reason.
+
+        The ack and the completion decrement are one conditional step
+        (XACKDECR): when an entry was reclaimed (XAUTOCLAIM) and finished
+        by both its original consumer and its adopter, only the first
+        finisher's ack succeeds and only that one decrements -- the
+        outstanding counter stays exactly-once per entry and can never go
+        negative.
         """
         pipe = client.pipeline()
         for task in children:
             pipe.incr(self.counter_key)
             pipe.xadd(self.stream_key, {"task": task})
-        pipe.xack(self.stream_key, self.group, entry_id)
-        pipe.decr(self.counter_key)
+        pipe.xack_decr(self.stream_key, self.group, entry_id, self.counter_key)
         pipe.execute()
 
     # ------------------------------------------------------------ monitoring
@@ -123,6 +146,10 @@ class RedisTaskBoard:
         return 0 if value is None else int(value)
 
     def is_drained(self, client: Optional[RedisClient] = None) -> bool:
+        # Strict == 0: completion is exactly-once per entry (XACKDECR), so
+        # the counter never goes negative, and a hypothetical accounting bug
+        # should surface as a visible join timeout rather than silently
+        # dropping still-outstanding work.
         return self.outstanding(client) == 0
 
     def backlog(self, client: Optional[RedisClient] = None) -> int:

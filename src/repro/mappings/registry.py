@@ -44,6 +44,10 @@ class Capabilities:
         Adapts its active process count at runtime (Algorithm 1).
     dynamic:
         Schedules tasks dynamically (no static PE-to-process pinning).
+    recoverable:
+        Survives worker crashes mid-run: consumer-group PEL reclaim for
+        stateless tasks, and -- on ``hybrid_redis`` -- checkpoint/restore
+        of pinned stateful instances (:mod:`repro.state`).
     static_allocation:
         Uses the static partitioning rule, which imposes a per-graph
         process floor (one process per PE instance).
@@ -57,6 +61,7 @@ class Capabilities:
     requires_redis: bool = False
     autoscaling: bool = False
     dynamic: bool = False
+    recoverable: bool = False
     static_allocation: bool = False
     min_processes: int = 1
     description: str = ""

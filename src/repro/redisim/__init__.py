@@ -11,7 +11,11 @@ the command subset those mappings exercise, from scratch, as a thread-safe
 in-process data-structure server:
 
 - strings (GET/SET/INCRBY/DECRBY) -- used for shared counters,
-- lists (LPUSH/RPUSH/LPOP/RPOP/BLPOP/LLEN/LRANGE) -- private queues,
+- lists (LPUSH/RPUSH/LPOP/RPOP/BLPOP/BLMOVE/LLEN/LRANGE/LTRIM) -- private
+  queues and per-instance pending (replay) logs, plus RPUSHSEQ, a
+  sequence-tagging append used for crash-recoverable delivery,
+- SNAPSHOT/RESTORE -- sequence-guarded state snapshots backing the
+  checkpoint/restore subsystem (:mod:`repro.state`),
 - hashes and sets -- bookkeeping,
 - streams (XADD/XLEN/XRANGE/XREAD/XTRIM) with **consumer groups**
   (XGROUP CREATE, XREADGROUP, XACK, XPENDING, XCLAIM, XAUTOCLAIM,
@@ -27,6 +31,7 @@ DESIGN.md's substitution table for the fidelity argument.
 from repro.redisim.client import RedisClient
 from repro.redisim.errors import (
     BusyGroupError,
+    ConnectionError,
     NoGroupError,
     RedisError,
     StreamIDError,
@@ -37,6 +42,7 @@ from repro.redisim.streams import StreamID
 
 __all__ = [
     "BusyGroupError",
+    "ConnectionError",
     "NoGroupError",
     "RedisClient",
     "RedisError",

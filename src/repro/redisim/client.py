@@ -76,6 +76,13 @@ class Pipeline:
         encoded = tuple(self._client._enc(v) for v in values)
         return self._queue("rpush", key, *encoded)
 
+    def rpush_seq(self, key: str, *values: Any) -> "Pipeline":
+        encoded = tuple(self._client._enc(v) for v in values)
+        return self._queue("rpushseq", key, *encoded)
+
+    def ltrim(self, key: str, start: int, end: int) -> "Pipeline":
+        return self._queue("ltrim", key, start, end)
+
     def lpush(self, key: str, *values: Any) -> "Pipeline":
         encoded = tuple(self._client._enc(v) for v in values)
         return self._queue("lpush", key, *encoded)
@@ -85,6 +92,9 @@ class Pipeline:
 
     def xack(self, key: str, group: str, *entry_ids: str) -> "Pipeline":
         return self._queue("xack", key, group, *entry_ids)
+
+    def xack_decr(self, key: str, group: str, entry_id: str, counter_key: str) -> "Pipeline":
+        return self._queue("xackdecr", key, group, entry_id, counter_key)
 
     def delete(self, *keys: str) -> "Pipeline":
         return self._queue("delete", *keys)
@@ -245,6 +255,55 @@ class RedisClient:
         self._charge()
         return [self._dec(v) for v in self._server.lrange(key, start, end)]
 
+    def ltrim(self, key: str, start: int, end: int) -> bool:
+        self._charge()
+        return self._server.ltrim(key, start, end)
+
+    # ------------------------------------------------- sequenced lists
+    def rpush_seq(self, key: str, *values: Any) -> List[int]:
+        """RPUSHSEQ: append values tagged with monotonic per-key sequences."""
+        self._charge()
+        return self._server.rpushseq(key, *(self._enc(v) for v in values))
+
+    def blmove_seq(
+        self, source: str, destination: str, timeout: Optional[float] = None
+    ) -> Optional[Tuple[int, Any]]:
+        """Blocking move of one sequenced entry; returns ``(seq, value)``.
+
+        The raw ``(seq, blob)`` pair lands on ``destination`` untouched, so
+        a recovering consumer replaying ``destination`` sees exactly what
+        was delivered (see :meth:`lrange_seq`).
+        """
+        self._charge()
+        hit = self._server.blmove(source, destination, timeout=timeout)
+        if hit is None:
+            return None
+        seq, value = hit
+        return seq, self._dec(value)
+
+    def lrange_seq(self, key: str, start: int = 0, end: int = -1) -> List[Tuple[int, Any]]:
+        """LRANGE over a sequenced list, decoding to ``(seq, value)`` pairs."""
+        self._charge()
+        return [
+            (seq, self._dec(value))
+            for seq, value in self._server.lrange(key, start, end)
+        ]
+
+    # ------------------------------------------------------------- snapshots
+    def snapshot(self, key: str, snapshot_id: str, seq: int, state: Any) -> bool:
+        """SNAPSHOT: persist an instance-state blob guarded by ``seq``."""
+        self._charge()
+        return self._server.snapshot(key, snapshot_id, seq, self._enc(state))
+
+    def restore(self, key: str, snapshot_id: str) -> Optional[Tuple[int, Any]]:
+        """RESTORE: fetch the latest ``(seq, state)`` snapshot, or ``None``."""
+        self._charge()
+        hit = self._server.restore(key, snapshot_id)
+        if hit is None:
+            return None
+        seq, blob = hit
+        return seq, self._dec(blob)
+
     # ---------------------------------------------------------------- hashes
     def hset(self, key: str, field: str, value: Any) -> int:
         self._charge()
@@ -362,6 +421,11 @@ class RedisClient:
     def xack(self, key: str, group: str, *entry_ids: str) -> int:
         self._charge()
         return self._server.xack(key, group, *entry_ids)
+
+    def xack_decr(self, key: str, group: str, entry_id: str, counter_key: str) -> int:
+        """XACK + conditional DECR in one atomic server-side step."""
+        self._charge()
+        return self._server.xackdecr(key, group, entry_id, counter_key)
 
     def xpending(self, key: str, group: str) -> Dict[str, Any]:
         self._charge()

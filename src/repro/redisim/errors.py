@@ -7,6 +7,16 @@ class RedisError(Exception):
     """Base class for all errors raised by the in-process Redis substrate."""
 
 
+class ConnectionError(RedisError):  # noqa: A001 - redis-py shadows the builtin too
+    """Server is shut down (or shutting down) under a blocked/issuing client.
+
+    Mirrors ``redis.exceptions.ConnectionError``: clients parked in blocking
+    reads (``BLPOP``, ``BLMOVE``, blocking ``XREAD``/``XREADGROUP``) are
+    woken with this error when the server closes, instead of waiting out
+    their timeouts (or hanging forever with ``timeout=None``).
+    """
+
+
 class WrongTypeError(RedisError):
     """Operation against a key holding the wrong kind of value (WRONGTYPE)."""
 

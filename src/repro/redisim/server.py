@@ -22,6 +22,7 @@ from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.redisim.errors import (
     BusyGroupError,
+    ConnectionError,
     NoGroupError,
     RedisError,
     WrongTypeError,
@@ -67,10 +68,39 @@ class RedisServer:
         self._lock = threading.RLock()
         self._cond = threading.Condition(self._lock)
         self._data: Dict[str, Tuple[str, Any]] = {}
+        self._seq: Dict[str, int] = {}
+        self._closed = False
         self.command_count: Dict[str, int] = {}
+
+    # ------------------------------------------------------------- lifecycle
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Shut the server down, waking every blocked reader.
+
+        Clients parked in blocking commands (``BLPOP``, ``BLMOVE``, blocking
+        ``XREAD``/``XREADGROUP``) are released immediately with
+        :class:`~repro.redisim.errors.ConnectionError` -- without this, a
+        reader blocked with ``timeout=None`` would hang forever once the
+        server goes away, because nothing would ever notify its condition
+        variable again.  Non-blocking commands issued after close also fail
+        with :class:`~repro.redisim.errors.ConnectionError`.  Idempotent.
+        """
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ConnectionError("redisim server is closed")
 
     # ------------------------------------------------------------------ util
     def _count(self, command: str) -> None:
+        self._check_open()
         self.command_count[command] = self.command_count.get(command, 0) + 1
 
     def _get_typed(self, key: str, expected: str) -> Any:
@@ -95,9 +125,9 @@ class RedisServer:
     _TXN_COMMANDS = frozenset(
         {
             "set", "get", "incrby", "decrby", "delete",
-            "lpush", "rpush", "lpop", "rpop",
+            "lpush", "rpush", "rpushseq", "lpop", "rpop", "ltrim",
             "hset", "hdel", "hincrby", "sadd", "srem",
-            "xadd", "xack", "xtrim",
+            "xadd", "xack", "xackdecr", "xtrim", "snapshot",
         }
     )
 
@@ -126,6 +156,7 @@ class RedisServer:
         with self._cond:
             self._count("flushall")
             self._data.clear()
+            self._seq.clear()
             self._cond.notify_all()
 
     def dbsize(self) -> int:
@@ -149,6 +180,7 @@ class RedisServer:
             self._count("delete")
             removed = 0
             for key in keys:
+                self._seq.pop(key, None)
                 if key in self._data:
                     del self._data[key]
                     removed += 1
@@ -251,6 +283,7 @@ class RedisServer:
         with self._cond:
             self._count("blpop")
             while True:
+                self._check_open()
                 for key in keys:
                     lst = self._get_typed(key, _TYPE_LIST)
                     if lst:
@@ -260,7 +293,76 @@ class RedisServer:
                 else:
                     remaining = deadline - self._now()
                     if remaining <= 0 or not self._cond.wait(timeout=remaining):
+                        self._check_open()
                         return None
+
+    def blmove(
+        self, source: str, destination: str, timeout: Optional[float] = None
+    ) -> Any:
+        """Blocking ``LMOVE source destination LEFT RIGHT``; ``None`` on timeout.
+
+        Atomically pops the head of ``source`` and appends it to the tail of
+        ``destination`` -- the reliable-queue idiom (redis.io: pattern behind
+        ``BLMOVE``): the element is never in limbo, so a consumer that dies
+        mid-processing leaves it recoverable on ``destination``.
+        """
+        deadline = None
+        if timeout:
+            deadline = self._now() + timeout
+        with self._cond:
+            self._count("blmove")
+            while True:
+                self._check_open()
+                lst = self._get_typed(source, _TYPE_LIST)
+                if lst:
+                    value = self._pop(source, left=True)
+                    self._list_for_write(destination).append(value)
+                    self._cond.notify_all()
+                    return value
+                if deadline is None:
+                    self._cond.wait()
+                else:
+                    remaining = deadline - self._now()
+                    if remaining <= 0 or not self._cond.wait(timeout=remaining):
+                        self._check_open()
+                        return None
+
+    def rpushseq(self, key: str, *values: Any) -> List[int]:
+        """Append values tagged with a per-key monotonic sequence number.
+
+        Each stored element is a ``(seq, value)`` pair where ``seq`` counts
+        total appends to ``key`` since the key space was created -- the
+        sequence survives the list emptying out (unlike the list value
+        itself), so consumers can use it as a stable replay cursor across
+        crashes.  Returns the assigned sequence numbers.
+        """
+        with self._cond:
+            self._count("rpushseq")
+            lst = self._list_for_write(key)
+            assigned = []
+            seq = self._seq.get(key, 0)
+            for value in values:
+                seq += 1
+                lst.append((seq, value))
+                assigned.append(seq)
+            self._seq[key] = seq
+            self._cond.notify_all()
+            return assigned
+
+    def ltrim(self, key: str, start: int, end: int) -> bool:
+        """Trim the list to ``[start, end]`` (inclusive, as in Redis LTRIM)."""
+        with self._cond:
+            self._count("ltrim")
+            lst = self._get_typed(key, _TYPE_LIST)
+            if lst is None:
+                return True
+            items = list(lst)
+            kept = items[start:] if end == -1 else items[start : end + 1]
+            if kept:
+                self._data[key] = (_TYPE_LIST, deque(kept))
+            else:
+                del self._data[key]
+            return True
 
     def llen(self, key: str) -> int:
         with self._lock:
@@ -384,6 +486,39 @@ class RedisServer:
             value = self._get_typed(key, _TYPE_SET)
             return False if value is None else member in value
 
+    # ------------------------------------------------------------- snapshots
+    def snapshot(self, key: str, snapshot_id: str, seq: int, blob: Any) -> bool:
+        """Store an opaque state snapshot under ``key``/``snapshot_id``.
+
+        Snapshots live in a hash keyed by ``snapshot_id`` (one per pinned PE
+        instance), each holding a ``(seq, blob)`` pair.  ``seq`` is the
+        replay cursor the snapshot covers; a write with a *lower* sequence
+        than the stored one is rejected (returns ``False``), so a stale
+        writer -- e.g. a presumed-dead worker checkpointing after its
+        instance was already re-pinned and advanced elsewhere -- can never
+        clobber newer state.
+        """
+        with self._cond:
+            self._count("snapshot")
+            mapping = self._get_typed(key, _TYPE_HASH)
+            if mapping is None:
+                mapping = {}
+                self._data[key] = (_TYPE_HASH, mapping)
+            existing = mapping.get(snapshot_id)
+            if existing is not None and existing[0] > seq:
+                return False
+            mapping[snapshot_id] = (int(seq), blob)
+            return True
+
+    def restore(self, key: str, snapshot_id: str) -> Optional[Tuple[int, Any]]:
+        """Fetch the latest snapshot as ``(seq, blob)``, or ``None``."""
+        with self._lock:
+            self._count("restore")
+            mapping = self._get_typed(key, _TYPE_HASH)
+            if mapping is None:
+                return None
+            return mapping.get(snapshot_id)
+
     # --------------------------------------------------------------- streams
     def _stream_for_write(self, key: str) -> Stream:
         stream = self._get_typed(key, _TYPE_STREAM)
@@ -465,6 +600,7 @@ class RedisServer:
                 else:
                     cursors[key] = StreamID.parse(raw)
             while True:
+                self._check_open()
                 reply = []
                 for key, last in cursors.items():
                     stream = self._stream_or_none(key)
@@ -481,6 +617,7 @@ class RedisServer:
                     return []
                 remaining = deadline - self._now()
                 if remaining <= 0 or not self._cond.wait(timeout=remaining):
+                    self._check_open()
                     return []
 
     def xgroup_create(
@@ -544,6 +681,7 @@ class RedisServer:
         with self._cond:
             self._count("xreadgroup")
             while True:
+                self._check_open()
                 reply = []
                 now = self._now()
                 for key, cursor in streams.items():
@@ -590,7 +728,24 @@ class RedisServer:
                     return []
                 remaining = deadline - self._now()
                 if remaining <= 0 or not self._cond.wait(timeout=remaining):
+                    self._check_open()
                     return []
+
+    def xackdecr(self, key: str, group: str, entry_id: str, counter_key: str) -> int:
+        """XACK one entry and, only if it was still pending, DECR a counter.
+
+        The in-process equivalent of the Lua script real deployments pair
+        with XAUTOCLAIM: completion counting must be exactly-once per
+        entry, and an unconditional ``XACK + DECR`` pipeline double-
+        decrements when a reclaimed entry is finished by both its original
+        (slow but alive) consumer and its adopter.
+        """
+        with self._cond:
+            self._count("xackdecr")
+            acked = self.xack(key, group, entry_id)
+            if acked:
+                self.decrby(counter_key, 1)
+            return acked
 
     def xack(self, key: str, group: str, *entry_ids: str) -> int:
         with self._cond:

@@ -51,6 +51,8 @@ class CloseableQueue:
 
     def __init__(self, maxsize: int = 0) -> None:
         self._q: "queue.Queue[Any]" = queue.Queue(maxsize=maxsize)
+        self._close_lock = threading.Lock()
+        self._closed = False
 
     def put(self, item: Any) -> None:
         self._q.put(item)
@@ -76,10 +78,24 @@ class CloseableQueue:
     def empty(self) -> bool:
         return self._q.empty()
 
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     def close(self, consumers: int = 1) -> None:
-        """Signal end-of-stream to ``consumers`` readers."""
+        """Signal end-of-stream to ``consumers`` readers.  Idempotent.
+
+        Only the first call broadcasts pills: re-closing (e.g. an error
+        path unwinding after a clean shutdown already closed the channel)
+        must not enqueue ``consumers`` more pills, which counted-termination
+        consumers downstream would misread as extra finished producers.
+        """
         if consumers < 0:
             raise ValueError("consumers must be >= 0")
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
         for _ in range(consumers):
             self._q.put(POISON_PILL)
 

@@ -55,6 +55,10 @@ class AsyncResult:
         return self._value
 
 
+class CallbackError(RuntimeError):
+    """A completion callback raised; chained from the original exception."""
+
+
 _STOP = object()
 
 
@@ -156,16 +160,38 @@ class WorkerPool:
                 result._reject(exc)
                 traceback.print_exc()
                 if callback is not None:
+                    # The result already carries func's error; a callback
+                    # failure here is only recorded.
                     self._fire_callback(callback, None)
             else:
-                result._resolve(value)
                 if callback is not None:
-                    self._fire_callback(callback, value)
+                    cb_exc = self._fire_callback(callback, value)
+                    if cb_exc is not None:
+                        # The callback is part of the completion contract
+                        # (the auto-scaler's ``done`` bookkeeping runs
+                        # there): if it raises, the submission did not
+                        # complete cleanly.  Reject the result so ``get()``
+                        # surfaces the failure -- otherwise it is lost to
+                        # the pool thread, and a never-resolved result
+                        # would hang its waiters.
+                        try:
+                            raise CallbackError(
+                                "completion callback raised after the call succeeded"
+                            ) from cb_exc
+                        except CallbackError as wrapped:
+                            result._reject(wrapped)
+                        continue
+                result._resolve(value)
 
-    def _fire_callback(self, callback: Callable[[Any], None], value: Any) -> None:
+    def _fire_callback(
+        self, callback: Callable[[Any], None], value: Any
+    ) -> Optional[BaseException]:
+        """Run a completion callback; returns the exception it raised, if any."""
         try:
             callback(value)
         except BaseException as exc:  # noqa: BLE001 - callback boundary
             with self._errors_lock:
                 self._errors.append(exc)
             traceback.print_exc()
+            return exc
+        return None

@@ -27,25 +27,33 @@ from repro.workflows.sentiment.pes import (
     FindState,
     HappyState,
     ReadArticles,
+    RecoverableHappyState,
+    RecoverableTop3Happiest,
     SentimentAFINN,
     SentimentSWN3,
     TokenizeWD,
     Top3Happiest,
 )
 from repro.workflows.sentiment.tokenizer import tokenize
-from repro.workflows.sentiment.workflow import build_sentiment_workflow
+from repro.workflows.sentiment.workflow import (
+    build_recoverable_sentiment_workflow,
+    build_sentiment_workflow,
+)
 
 __all__ = [
     "AFINN",
     "FindState",
     "HappyState",
     "ReadArticles",
+    "RecoverableHappyState",
+    "RecoverableTop3Happiest",
     "SWN3",
     "SentimentAFINN",
     "SentimentSWN3",
     "TokenizeWD",
     "Top3Happiest",
     "afinn_score",
+    "build_recoverable_sentiment_workflow",
     "build_sentiment_workflow",
     "generate_articles",
     "swn3_score",

@@ -156,6 +156,22 @@ class HappyState(GenericPE):
         }
 
 
+class RecoverableHappyState(HappyState):
+    """``HappyState`` with explicit, minimal checkpoint hooks.
+
+    The default :meth:`~repro.core.pe.GenericPE.get_state` would also drag
+    constructor parameters (``cost``...) into every snapshot; the override
+    captures exactly the aggregate table -- the idiom for PEs whose state
+    is a small core inside a larger object.
+    """
+
+    def get_state(self) -> Dict[str, Any]:
+        return {"totals": {state: list(bucket) for state, bucket in self._totals.items()}}
+
+    def set_state(self, state: Dict[str, Any]) -> None:
+        self._totals = {name: list(bucket) for name, bucket in state["totals"].items()}
+
+
 class Top3Happiest(GenericPE):
     """Maintain and report the top-3 happiest states (stateful, global).
 
@@ -189,3 +205,13 @@ class Top3Happiest(GenericPE):
     def postprocess(self) -> None:
         if self._latest:
             self.write("top3", self.top3())
+
+
+class RecoverableTop3Happiest(Top3Happiest):
+    """``Top3Happiest`` with explicit checkpoint hooks (latest-wins table)."""
+
+    def get_state(self) -> Dict[str, Any]:
+        return {"latest": dict(self._latest)}
+
+    def set_state(self, state: Dict[str, Any]) -> None:
+        self._latest = dict(state["latest"])

@@ -10,6 +10,8 @@ from repro.workflows.sentiment.pes import (
     FindState,
     HappyState,
     ReadArticles,
+    RecoverableHappyState,
+    RecoverableTop3Happiest,
     SentimentAFINN,
     SentimentSWN3,
     TokenizeWD,
@@ -40,6 +42,56 @@ def build_sentiment_workflow(
     (graph, inputs):
         The workflow graph and article-index input list.
     """
+    return _build(
+        articles,
+        HappyState,
+        Top3Happiest,
+        happy_instances=happy_instances,
+        top3_instances=top3_instances,
+        sentiment_instances=sentiment_instances,
+        seed=seed,
+        name="sentiment_news",
+    )
+
+
+def build_recoverable_sentiment_workflow(
+    articles: int = DEFAULT_ARTICLES,
+    happy_instances: int = 4,
+    top3_instances: int = 2,
+    sentiment_instances: int = 2,
+    seed: int = 23,
+) -> Tuple[WorkflowGraph, List[int]]:
+    """The sentiment workflow wired for checkpoint/restore.
+
+    Identical topology to :func:`build_sentiment_workflow`, but the two
+    stateful PEs carry explicit ``get_state``/``set_state`` hooks capturing
+    exactly their aggregate tables -- run it on ``hybrid_redis`` with
+    ``checkpoint_interval`` (or a ``state_store``) set and pinned instances
+    survive worker crashes.
+    """
+    return _build(
+        articles,
+        RecoverableHappyState,
+        RecoverableTop3Happiest,
+        happy_instances=happy_instances,
+        top3_instances=top3_instances,
+        sentiment_instances=sentiment_instances,
+        seed=seed,
+        name="sentiment_news_recoverable",
+    )
+
+
+def _build(
+    articles: int,
+    happy_cls: type,
+    top3_cls: type,
+    *,
+    happy_instances: int,
+    top3_instances: int,
+    sentiment_instances: int,
+    seed: int,
+    name: str,
+) -> Tuple[WorkflowGraph, List[int]]:
     if articles < 1:
         raise ValueError(f"articles must be >= 1, got {articles}")
     # Pre-warm the deterministic dataset on the driver thread (the paper
@@ -50,13 +102,13 @@ def build_sentiment_workflow(
     afinn.numprocesses = sentiment_instances
     swn3 = SentimentSWN3()
     swn3.numprocesses = sentiment_instances
-    happy = HappyState(instances=happy_instances)
-    top3 = Top3Happiest(instances=top3_instances)
+    happy = happy_cls(instances=happy_instances)
+    top3 = top3_cls(instances=top3_instances)
 
     # Two scorer branches fan out of the reader and fan back into the
     # stateful happy-State aggregator (Figure 7); merged chains share the
     # reader and aggregator by identity.
     afinn_branch = read >> afinn >> FindState(name="findStateAFINN") >> happy >> top3
     swn3_branch = read >> TokenizeWD() >> swn3 >> FindState(name="findStateSWN3") >> happy
-    graph = WorkflowGraph.from_chain(afinn_branch, swn3_branch, name="sentiment_news")
+    graph = WorkflowGraph.from_chain(afinn_branch, swn3_branch, name=name)
     return graph, list(range(articles))

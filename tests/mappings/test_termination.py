@@ -3,6 +3,7 @@
 import pytest
 
 from repro import run
+from repro.core.pe import IterativePE
 from repro.mappings.termination import TerminationPolicy
 from tests.conftest import Double, Emit, FAST_SCALE, linear_graph
 
@@ -65,6 +66,62 @@ class TestSafeTermination:
             g, inputs=[1], processes=4, mapping="dyn_multi", time_scale=FAST_SCALE
         )
         assert result.counters.get("empty_polls", 0) >= 1
+
+
+class SlowFanout(IterativePE):
+    """Holds the queue's only task long enough for every peer to exhaust its
+    retry budget, then fans out children -- the Section 3.2.3 "extreme case"
+    (a worker is about to enqueue work while its peers see an empty queue)."""
+
+    def __init__(self, name="slowFanout", hold=1.0):
+        super().__init__(name)
+        self.hold = hold
+
+    def _process(self, data):
+        self.compute(self.hold)  # peers poll an empty queue this whole time
+        self.write(self.OUTPUT_NAME, data * 10 + 1)
+        self.write(self.OUTPUT_NAME, data * 10 + 2)
+        return None
+
+
+#: Retry budget tuned so peers give up long before SlowFanout finishes.
+_EXTREME_POLICY_KWARGS = dict(poll_interval=0.005, empty_retries=1)
+
+
+class TestExtremeCaseRegression:
+    """Regression for the paper's conceded failure mode: the emptiness check
+    can fire while a worker is mid-task, dropping its children.  The
+    drained-proof default must never lose work here."""
+
+    @pytest.mark.parametrize("mapping", ["dyn_multi", "dyn_redis", "dyn_auto_multi"])
+    def test_safe_policy_never_drops_work(self, mapping):
+        g = linear_graph(SlowFanout(name="fan"), Emit(name="sink"))
+        result = run(
+            g,
+            inputs=[1, 2],
+            processes=4,
+            mapping=mapping,
+            time_scale=FAST_SCALE,
+            termination=TerminationPolicy(**_EXTREME_POLICY_KWARGS),
+        )
+        assert sorted(result.output("sink")) == [11, 12, 21, 22]
+
+    def test_unsafe_policy_may_drop_but_never_hangs_or_invents(self):
+        """The paper's native check under the same interleaving: children may
+        be lost (pills overtake them), but the run must still return, without
+        errors, and never emit more than the true result set."""
+        g = linear_graph(SlowFanout(name="fan"), Emit(name="sink"))
+        result = run(
+            g,
+            inputs=[1, 2],
+            processes=4,
+            mapping="dyn_multi",
+            time_scale=FAST_SCALE,
+            termination=TerminationPolicy(unsafe_empty_check=True, **_EXTREME_POLICY_KWARGS),
+        )
+        outputs = result.output("sink")
+        assert set(outputs) <= {11, 12, 21, 22}
+        assert len(outputs) == len(set(outputs))
 
 
 class TestUnsafeEmptyCheck:

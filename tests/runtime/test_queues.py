@@ -32,6 +32,26 @@ class TestCloseableQueue:
         with pytest.raises(ValueError):
             CloseableQueue().close(consumers=-1)
 
+    def test_close_is_idempotent(self):
+        """A second close must not re-broadcast pills: counted-termination
+        consumers would misread the extras as more finished producers."""
+        q = CloseableQueue()
+        q.close(consumers=3)
+        q.close(consumers=3)
+        assert q.qsize() == 3
+
+    def test_closed_property(self):
+        q = CloseableQueue()
+        assert not q.closed
+        q.close()
+        assert q.closed
+
+    def test_reclose_with_different_count_ignored(self):
+        q = CloseableQueue()
+        q.close(consumers=1)
+        q.close(consumers=5)
+        assert q.qsize() == 1
+
     def test_qsize_and_empty(self):
         q = CloseableQueue()
         assert q.empty()

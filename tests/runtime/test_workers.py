@@ -5,7 +5,7 @@ import time
 
 import pytest
 
-from repro.runtime.workers import AsyncResult, WorkerPool
+from repro.runtime.workers import AsyncResult, CallbackError, WorkerPool
 
 
 class TestAsyncResult:
@@ -111,6 +111,61 @@ class TestWorkerPool:
         try:
             with pytest.raises(RuntimeError):
                 pool.join()
+        finally:
+            pool.close()
+            pool.join()
+
+    def test_raising_callback_rejects_result(self):
+        """A callback failure must surface through get(), not vanish into
+        the pool thread while the result reports success."""
+        pool = WorkerPool(1)
+
+        def bad_callback(_value):
+            raise RuntimeError("callback kapow")
+
+        try:
+            result = pool.apply_async(lambda: 42, callback=bad_callback)
+            with pytest.raises(CallbackError) as info:
+                result.get(timeout=2)
+            assert isinstance(info.value.__cause__, RuntimeError)
+            assert "callback kapow" in str(info.value.__cause__)
+            assert not result.successful()
+            assert any(isinstance(e, RuntimeError) for e in pool.errors)
+        finally:
+            pool.close()
+            pool.join()
+
+    def test_raising_callback_does_not_hang_waiters(self):
+        """Regression: the result must resolve either way -- a waiter
+        blocked in get() would otherwise hang forever."""
+        pool = WorkerPool(1)
+
+        def bad_callback(_value):
+            raise ValueError("boom")
+
+        try:
+            result = pool.apply_async(lambda: 1, callback=bad_callback)
+            result.wait(timeout=2)
+            assert result.ready()
+        finally:
+            pool.close()
+            pool.join()
+
+    def test_callback_error_after_func_error_keeps_original(self):
+        """When func itself failed, get() must re-raise func's error, not
+        the callback's."""
+        pool = WorkerPool(1)
+
+        def boom():
+            raise KeyError("func-error")
+
+        def bad_callback(_value):
+            raise ValueError("callback-error")
+
+        try:
+            result = pool.apply_async(boom, callback=bad_callback)
+            with pytest.raises(KeyError, match="func-error"):
+                result.get(timeout=2)
         finally:
             pool.close()
             pool.join()

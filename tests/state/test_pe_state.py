@@ -1,0 +1,86 @@
+"""Tests for the PE state-capture API (get_state/set_state)."""
+
+from repro.core.pe import GenericPE, IterativePE
+from repro.workflows.sentiment.pes import RecoverableHappyState
+from tests.conftest import StatefulCounter
+
+
+class TestDefaultCapture:
+    def test_accumulators_captured(self):
+        pe = StatefulCounter(name="counter")
+        pe.process({"input": ("a", 1)})
+        pe.process({"input": ("a", 2)})
+        state = pe.get_state()
+        assert state["counts"] == {"a": 2}
+
+    def test_structural_attrs_excluded(self):
+        pe = StatefulCounter(name="counter")
+        state = pe.get_state()
+        for key in ("name", "inputconnections", "outputconnections", "ctx",
+                    "instance_id", "numprocesses", "_output_buffer"):
+            assert key not in state
+
+    def test_round_trip_restores_behaviour(self):
+        original = StatefulCounter(name="counter")
+        for i in range(5):
+            original.process({"input": ("a", i)})
+        replacement = StatefulCounter(name="counter")
+        replacement.set_state(original.get_state())
+        replacement.process({"input": ("a", 99)})
+        assert replacement.counts == {"a": 6}
+
+    def test_restore_does_not_touch_wiring(self):
+        original = StatefulCounter(name="counter")
+        replacement = StatefulCounter(name="other")
+        replacement.instance_index = 3
+        replacement.set_state(original.get_state())
+        assert replacement.name == "other"
+        assert replacement.instance_index == 3
+
+    def test_fresh_pe_state_is_plain_dict(self):
+        class Plain(IterativePE):
+            def __init__(self):
+                super().__init__("plain")
+                self.seen = 0
+
+            def _process(self, data):
+                self.seen += 1
+                return data
+
+        pe = Plain()
+        pe._process(1)
+        assert pe.get_state() == {"seen": 1}
+
+
+class TestCustomHooks:
+    def test_override_narrows_payload(self):
+        pe = RecoverableHappyState(name="happy")
+        pe.process({"input": ("TX", 4.0)})
+        state = pe.get_state()
+        assert set(state) == {"totals"}
+        assert state["totals"] == {"TX": [4.0, 1.0]}
+
+    def test_override_round_trip(self):
+        original = RecoverableHappyState(name="happy")
+        original.process({"input": ("TX", 4.0)})
+        original.process({"input": ("TX", 2.0)})
+        replacement = RecoverableHappyState(name="happy")
+        replacement.set_state(original.get_state())
+        assert replacement.snapshot() == original.snapshot()
+
+    def test_custom_state_isolated(self):
+        pe = RecoverableHappyState(name="happy")
+        pe.process({"input": ("TX", 4.0)})
+        captured = pe.get_state()
+        pe.process({"input": ("TX", 2.0)})
+        assert captured["totals"] == {"TX": [4.0, 1.0]}
+
+
+class TestBaseClassDefaults:
+    def test_generic_pe_empty_state(self):
+        pe = GenericPE(name="bare")
+        assert pe.get_state() == {}
+
+    def test_set_state_accepts_empty(self):
+        pe = GenericPE(name="bare")
+        pe.set_state({})

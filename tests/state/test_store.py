@@ -1,0 +1,80 @@
+"""Tests for the snapshot stores (repro.state.store)."""
+
+import pytest
+
+from repro.redisim import RedisClient, RedisServer
+from repro.state import InMemoryStateStore, RedisSnapshotStore, Snapshot, StateStore
+
+
+@pytest.fixture(params=["memory", "redis"])
+def store(request):
+    if request.param == "memory":
+        return InMemoryStateStore()
+    return RedisSnapshotStore(RedisClient(RedisServer()), namespace="test")
+
+
+class TestStoreContract:
+    def test_implements_protocol(self, store):
+        assert isinstance(store, StateStore)
+
+    def test_load_missing(self, store):
+        assert store.load("pe.0") is None
+
+    def test_save_load_round_trip(self, store):
+        assert store.save("pe.0", 3, {"counts": {"a": 1}})
+        snap = store.load("pe.0")
+        assert snap == Snapshot(3, {"counts": {"a": 1}})
+
+    def test_newer_seq_wins(self, store):
+        store.save("pe.0", 3, {"v": "old"})
+        assert store.save("pe.0", 9, {"v": "new"})
+        assert store.load("pe.0").state == {"v": "new"}
+
+    def test_stale_save_rejected(self, store):
+        store.save("pe.0", 9, {"v": "new"})
+        assert not store.save("pe.0", 3, {"v": "stale"})
+        assert store.load("pe.0") == Snapshot(9, {"v": "new"})
+
+    def test_delete(self, store):
+        store.save("pe.0", 1, {})
+        store.delete("pe.0")
+        assert store.load("pe.0") is None
+
+    def test_delete_missing_ok(self, store):
+        store.delete("ghost")
+
+    def test_instance_ids(self, store):
+        store.save("b.1", 1, {})
+        store.save("a.0", 1, {})
+        assert store.instance_ids() == ["a.0", "b.1"]
+
+    def test_snapshot_isolated_from_live_state(self, store):
+        state = {"counts": {"a": 1}}
+        store.save("pe.0", 1, state)
+        state["counts"]["a"] = 42  # live instance keeps mutating
+        assert store.load("pe.0").state == {"counts": {"a": 1}}
+
+    def test_loaded_state_isolated_from_store(self, store):
+        store.save("pe.0", 1, {"counts": {"a": 1}})
+        first = store.load("pe.0").state
+        first["counts"]["a"] = 42
+        assert store.load("pe.0").state == {"counts": {"a": 1}}
+
+
+class TestRedisSnapshotStore:
+    def test_namespaced_keys(self):
+        server = RedisServer()
+        client = RedisClient(server)
+        one = RedisSnapshotStore(client, namespace="run1")
+        two = RedisSnapshotStore(client, namespace="run2")
+        one.save("pe.0", 1, {"run": 1})
+        two.save("pe.0", 5, {"run": 2})
+        assert one.load("pe.0").state == {"run": 1}
+        assert two.load("pe.0").state == {"run": 2}
+
+    def test_for_client_shares_namespace(self):
+        server = RedisServer()
+        store = RedisSnapshotStore(RedisClient(server), namespace="run")
+        other = store.for_client(RedisClient(server))
+        store.save("pe.0", 2, {"x": 1})
+        assert other.load("pe.0") == Snapshot(2, {"x": 1})

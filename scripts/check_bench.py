@@ -1,0 +1,176 @@
+#!/usr/bin/env python
+"""Performance-regression gate over pytest-benchmark JSON reports.
+
+Compares the current run (``BENCH_pr.json``, produced by the CI bench-smoke
+job) against a committed baseline and fails when any shared benchmark got
+more than ``--max-regression`` slower.
+
+Raw wall-clock means are not comparable across runner generations, so by
+default every benchmark is **normalized by a calibration benchmark** from
+the same report (``--calibration``, a pure-Python micro benchmark): the
+gate then compares machine-speed-invariant ratios, catching "this code path
+got slower relative to the interpreter" rather than "this runner is slower
+than the one that minted the baseline".  ``--absolute`` disables the
+normalization for same-machine comparisons.
+
+Usage::
+
+    python scripts/check_bench.py \
+        --baseline benchmarks/BENCH_baseline.json \
+        --current BENCH_pr.json \
+        --max-regression 0.20
+
+Exit status: 0 when every shared benchmark is within the threshold,
+1 on regression, 2 on malformed/incomparable inputs.
+
+Refreshing the committed baseline after an intentional perf change::
+
+    BENCH_SMOKE=1 PYTHONPATH=src python -m pytest \
+        benchmarks/test_micro_substrates.py benchmarks/test_ablation_batching.py \
+        -q --benchmark-json=benchmarks/BENCH_baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+
+def load_means(path: Path) -> Tuple[Dict[str, float], Dict[str, bool]]:
+    """Name -> mean seconds and name -> gateable, from a benchmark report.
+
+    A benchmark is *gateable* when its mean is statistically meaningful:
+    several timed rounds, or a single round long enough (>= 1 s) that
+    scheduler jitter is amortized.  One-shot sub-second cells (the pedantic
+    workload grids at smoke scale) are compared informationally only --
+    their round-to-round noise exceeds any sane regression threshold.
+    """
+    try:
+        report = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"check_bench: cannot read {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+    means: Dict[str, float] = {}
+    gateable: Dict[str, bool] = {}
+    for bench in report.get("benchmarks", []):
+        stats = bench.get("stats", {})
+        mean = stats.get("mean")
+        if not mean:
+            continue
+        name = bench["name"]
+        means[name] = float(mean)
+        gateable[name] = stats.get("rounds", 1) > 1 or float(mean) >= 1.0
+    if not means:
+        print(f"check_bench: no benchmarks with stats in {path}", file=sys.stderr)
+        sys.exit(2)
+    return means, gateable
+
+
+def calibration_mean(means: Dict[str, float], needle: str, path: str) -> float:
+    matches = sorted(name for name in means if needle in name)
+    if not matches:
+        print(
+            f"check_bench: calibration benchmark {needle!r} not found in {path}",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+    return means[matches[0]]
+
+
+def compare(
+    baseline: Dict[str, float],
+    current: Dict[str, float],
+    gateable: Dict[str, bool],
+    max_regression: float,
+) -> Tuple[List[str], List[str]]:
+    """Rows for every shared benchmark plus the names that regressed."""
+    rows: List[str] = []
+    regressions: List[str] = []
+    for name in sorted(set(baseline) & set(current)):
+        change = current[name] / baseline[name] - 1.0
+        if not gateable.get(name, True):
+            status = "info (one-shot, not gated)"
+        elif change > max_regression:
+            status = "REGRESSION"
+            regressions.append(name)
+        elif change < -max_regression:
+            status = "improved"
+        else:
+            status = "ok"
+        rows.append(f"  {name:<55} {change:+8.1%}  {status}")
+    return rows, regressions
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail CI when benchmarks regress beyond a threshold."
+    )
+    parser.add_argument("--baseline", type=Path, required=True)
+    parser.add_argument("--current", type=Path, required=True)
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.20,
+        help="allowed slowdown fraction (default 0.20 = 20%%)",
+    )
+    parser.add_argument(
+        "--calibration",
+        default="tracked_queue",
+        help="substring of the benchmark used to normalize for machine "
+        "speed (default: the pure-Python tracked-queue micro benchmark)",
+    )
+    parser.add_argument(
+        "--absolute",
+        action="store_true",
+        help="compare raw means without calibration (same-machine runs)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline, base_gateable = load_means(args.baseline)
+    current, cur_gateable = load_means(args.current)
+    # Gate only entries meaningful in BOTH runs.
+    gateable = {
+        name: base_gateable.get(name, True) and cur_gateable.get(name, True)
+        for name in set(baseline) | set(current)
+    }
+    if not args.absolute:
+        base_cal = calibration_mean(baseline, args.calibration, str(args.baseline))
+        cur_cal = calibration_mean(current, args.calibration, str(args.current))
+        baseline = {name: mean / base_cal for name, mean in baseline.items()}
+        current = {name: mean / cur_cal for name, mean in current.items()}
+        print(
+            f"calibrated by {args.calibration!r}: baseline unit "
+            f"{base_cal * 1e6:.1f}us, current unit {cur_cal * 1e6:.1f}us"
+        )
+
+    shared = set(baseline) & set(current)
+    only_base = sorted(set(baseline) - shared)
+    only_cur = sorted(set(current) - shared)
+    if only_base:
+        print(f"note: {len(only_base)} baseline benchmark(s) missing from current run")
+    if only_cur:
+        print(f"note: {len(only_cur)} new benchmark(s) without a baseline")
+    if not shared:
+        print("check_bench: no comparable benchmarks", file=sys.stderr)
+        return 2
+
+    rows, regressions = compare(baseline, current, gateable, args.max_regression)
+    print(f"benchmark comparison (threshold {args.max_regression:.0%}):")
+    for row in rows:
+        print(row)
+    if regressions:
+        print(
+            f"\nFAIL: {len(regressions)} benchmark(s) regressed beyond "
+            f"{args.max_regression:.0%}: {', '.join(regressions)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nOK: {len(rows)} benchmark(s) within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,7 @@ from repro.workflows import (
     build_recoverable_sentiment_workflow,
     build_seismic_phase1_workflow,
     build_seismic_phase2_workflow,
+    build_sentiment_scoring_workflow,
     build_sentiment_workflow,
 )
 
@@ -41,6 +42,9 @@ _WORKFLOWS = {
     "seismic2": lambda args: build_seismic_phase2_workflow(stations=min(args.stations, 16)),
     "sentiment": lambda args: build_sentiment_workflow(articles=args.articles),
     "sentiment-recoverable": lambda args: build_recoverable_sentiment_workflow(
+        articles=args.articles
+    ),
+    "sentiment-scoring": lambda args: build_sentiment_scoring_workflow(
         articles=args.articles
     ),
 }
@@ -78,6 +82,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help="checkpoint pinned stateful instances every N deliveries "
         "(enables crash recovery on recoverable mappings)",
     )
+    run_p.add_argument(
+        "--batch-size",
+        type=int,
+        default=1,
+        metavar="N",
+        help="micro-batch up to N tuples per queue/stream operation "
+        "(1 = unbatched transport, identical to the classic engine)",
+    )
+    run_p.add_argument(
+        "--batch-linger-ms",
+        type=float,
+        default=0.0,
+        metavar="MS",
+        help="max real milliseconds a buffered tuple may wait for batch "
+        "companions on buffered port-to-port transport (0 = no linger)",
+    )
 
     bench_p = sub.add_parser("bench", help="regenerate one paper figure/table")
     bench_p.add_argument("experiment", choices=list_experiments())
@@ -96,6 +116,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         processes=args.processes,
         time_scale=args.time_scale,
         seed=args.seed,
+        batch_size=args.batch_size,
+        batch_linger_ms=args.batch_linger_ms,
         checkpoint_interval=args.checkpoint_interval,
     )
     if args.mapping == "auto":
@@ -151,7 +173,7 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     print("mappings   :")
     header = (
         f"  {'name':<16} {'stateful':<9} {'redis':<6} {'autoscale':<10} "
-        f"{'dynamic':<8} {'recover':<8} description"
+        f"{'dynamic':<8} {'recover':<8} {'batch':<6} description"
     )
     print(header)
     for name, caps in capability_table():
@@ -161,10 +183,11 @@ def _cmd_list(_args: argparse.Namespace) -> int:
             "yes" if caps.autoscaling else "no",
             "yes" if caps.dynamic else "no",
             "yes" if caps.recoverable else "no",
+            "yes" if caps.batching else "no",
         )
         print(
             f"  {name:<16} {flags[0]:<9} {flags[1]:<6} {flags[2]:<10} "
-            f"{flags[3]:<8} {flags[4]:<8} {caps.description}"
+            f"{flags[3]:<8} {flags[4]:<8} {flags[5]:<6} {caps.description}"
         )
     return 0
 

@@ -83,11 +83,25 @@ class RunConfig:
         Default run seed (overridable per run).
     prefer:
         Ordered mapping preferences consulted by ``"auto"`` selection.
+    batch_size:
+        Transport granularity: up to this many tuples travel per queue item
+        / Redis command on mappings that declare ``Capabilities.batching``.
+        ``1`` (default) is unbatched -- byte-identical to the pre-batching
+        engine.  Larger values amortize the per-tuple enactment overhead
+        (the dominant cost of fine-grained streams) at the price of
+        coarser scheduling granularity.
+    batch_linger_ms:
+        Upper bound (real milliseconds) a buffered tuple may wait for
+        batch companions on buffered port-to-port transport (the static
+        ``multi`` mapping); ``0`` disables the linger trigger.  Dynamic
+        mappings batch within one invocation/fetch and never hold tuples
+        back, so linger does not apply to them.
     checkpoint_interval:
         Deliveries between state checkpoints of pinned stateful instances
         (recoverable mappings only).  Setting it enables checkpoint/restore
         on ``hybrid_redis``; ``None`` (default) leaves recovery off unless
-        ``state_store`` is provided.
+        ``state_store`` is provided.  Counted in tuples, so it bounds the
+        replay window identically at any ``batch_size``.
     state_store:
         Where instance snapshots live (a :class:`repro.state.StateStore`).
         Providing one enables checkpoint/restore at the default interval;
@@ -103,6 +117,8 @@ class RunConfig:
     time_scale: float = 1.0
     seed: int = 0
     prefer: Union[str, Sequence[str], None] = None
+    batch_size: int = 1
+    batch_linger_ms: float = 0.0
     checkpoint_interval: Optional[int] = None
     state_store: Optional[Any] = None
     options: Dict[str, Any] = field(default_factory=dict)
@@ -114,6 +130,20 @@ class RunConfig:
             opts["checkpoint_interval"] = self.checkpoint_interval
         if self.state_store is not None:
             opts["state_store"] = self.state_store
+        return opts
+
+    def transport_options(self) -> Dict[str, Any]:
+        """The batching settings as mapping options (non-default only).
+
+        Defaults stay *absent* from the options dict, so a default-configured
+        engine hands every mapping exactly the options it did before
+        batching existed.
+        """
+        opts: Dict[str, Any] = {}
+        if self.batch_size != 1:
+            opts["batch_size"] = self.batch_size
+        if self.batch_linger_ms:
+            opts["batch_linger_ms"] = self.batch_linger_ms
         return opts
 
     def resolved_platform(self) -> PlatformProfile:
@@ -137,6 +167,8 @@ class Engine:
         time_scale: float = 1.0,
         seed: int = 0,
         prefer: Union[str, Sequence[str], None] = None,
+        batch_size: int = 1,
+        batch_linger_ms: float = 0.0,
         checkpoint_interval: Optional[int] = None,
         state_store: Optional[Any] = None,
         options: Optional[Dict[str, Any]] = None,
@@ -152,6 +184,8 @@ class Engine:
             time_scale=time_scale,
             seed=seed,
             prefer=prefer,
+            batch_size=batch_size,
+            batch_linger_ms=batch_linger_ms,
             checkpoint_interval=checkpoint_interval,
             state_store=state_store,
             options=merged_options,
@@ -229,7 +263,23 @@ class Engine:
         name = self._resolve(
             graph, mapping if mapping is not None else self.config.mapping, procs
         )
-        merged = {**self.config.recovery_options(), **self.config.options, **options}
+        merged = {
+            **self.config.recovery_options(),
+            **self.config.transport_options(),
+            **self.config.options,
+            **options,
+        }
+        if merged.get("batch_size", 1) != 1 or merged.get("batch_linger_ms", 0):
+            # Same contract as the recovery gate below: a mapping that
+            # ignores the transport knobs would silently run unbatched
+            # while the user believes they tuned the data plane.
+            caps = get_capabilities(name)
+            if not caps.batching:
+                raise UnsupportedFeatureError(
+                    f"batched transport requested (batch_size/batch_linger_ms) "
+                    f"but mapping {name!r} does not support batching; pick a "
+                    f"batching mapping or drop the transport options"
+                )
         if "checkpoint_interval" in merged or "state_store" in merged:
             # Silently dropping the knobs would leave the user believing
             # their pinned state is crash-safe when it is not.  State

@@ -53,6 +53,44 @@ def marshal(data: Any, copy_payloads: bool = False) -> Any:
     return data
 
 
+def resolve_batch_size(options: Dict[str, Any]) -> int:
+    """Validate and resolve the ``batch_size`` transport option.
+
+    ``1`` (the default) means unbatched transport, byte-identical to the
+    pre-batching engine; larger values let mappings ship up to that many
+    tuples per queue/stream operation.
+    """
+    size = options.get("batch_size", 1)
+    try:
+        coerced = int(size)
+    except (TypeError, ValueError):
+        raise MappingError(f"batch_size must be an integer, got {size!r}") from None
+    if coerced != size:
+        raise MappingError(f"batch_size must be an integer, got {size!r}")
+    if coerced < 1:
+        raise MappingError(f"batch_size must be >= 1, got {coerced}")
+    return coerced
+
+
+def resolve_batch_linger(options: Dict[str, Any]) -> float:
+    """Resolve ``batch_linger_ms`` (real milliseconds) to real seconds.
+
+    The linger bound is a *real-time* knob, like ``reclaim_idle_ms``: it
+    caps how long a buffered tuple may wait for companions, which only
+    matters on the wall clock.
+    """
+    linger_ms = options.get("batch_linger_ms", 0.0)
+    try:
+        linger_ms = float(linger_ms)
+    except (TypeError, ValueError):
+        raise MappingError(
+            f"batch_linger_ms must be a number, got {linger_ms!r}"
+        ) from None
+    if linger_ms < 0:
+        raise MappingError(f"batch_linger_ms must be >= 0, got {linger_ms}")
+    return linger_ms / 1000.0
+
+
 def normalize_inputs(
     graph: WorkflowGraph, inputs: InputSpec
 ) -> Dict[str, List[Dict[str, Any]]]:

@@ -37,6 +37,10 @@ Options
     Maximum tasks a worker session processes before returning control.
 ``strategy``:
     Override the scaling strategy instance (used by the ablation bench).
+``batch_size``:
+    Tuples per queue item (micro-batched transport; see
+    :mod:`repro.runtime.queues`).  Sessions treat ``session_chunk`` as a
+    soft cap at batch granularity -- an envelope is never split.
 """
 
 from __future__ import annotations
@@ -59,6 +63,7 @@ from repro.runtime.workers import WorkerPool
         stateful=False,
         dynamic=True,
         autoscaling=True,
+        batching=True,
         description="Dynamic multiprocessing + Algorithm 1 auto-scaling",
     )
 )
@@ -78,10 +83,18 @@ class DynAutoMultiMapping(Mapping):
             "strategy", BacklogStrategy(min_queue=state.options.get("min_queue", 0))
         )
         trace = ScalingTrace(strategy.metric_name)
+        # Under batched transport the backlog must be monitored in tuples:
+        # qsize counts envelopes, which understates the pending work by the
+        # batch factor and would make the scaler shrink a loaded pool.
+        monitor = (
+            workforce.queue.qsize
+            if workforce.batch_size == 1
+            else (lambda: workforce.queue.pending_tasks)
+        )
         scaler = Autoscaler(
             pool,
             strategy,
-            monitor=workforce.queue.qsize,
+            monitor=monitor,
             clock=state.clock,
             initial_active=state.options.get("initial_active"),
             scale_interval=state.options.get("scale_interval", 0.01),

@@ -31,10 +31,18 @@ from repro.mappings.base import (
     dispatch_emissions,
     instantiate,
     marshal,
+    resolve_batch_size,
 )
 from repro.mappings.registry import Capabilities, register_mapping
 from repro.mappings.termination import TerminationPolicy
-from repro.runtime.queues import POISON_PILL, Empty, TrackedQueue
+from repro.runtime.queues import (
+    POISON_PILL,
+    Empty,
+    TrackedQueue,
+    as_envelope,
+    batch_items,
+    chunked,
+)
 
 #: A task is (pe_name, input_port_or_None, payload).  ``None`` port means
 #: the payload is a full inputs mapping (source-PE driving).
@@ -53,6 +61,8 @@ class DynamicWorkforce:
     def __init__(self, state: EnactmentState, policy: TerminationPolicy) -> None:
         self.state = state
         self.policy = policy
+        #: Tasks per queue item; 1 keeps the pre-batching single-tuple puts.
+        self.batch_size: int = resolve_batch_size(state.options)
         self.queue: TrackedQueue = TrackedQueue()
         self.concrete = ConcreteWorkflow.single_instance(state.graph)
         self._copies: Dict[str, Dict[str, GenericPE]] = {}
@@ -61,10 +71,15 @@ class DynamicWorkforce:
 
     # ------------------------------------------------------------- seeding
     def seed_roots(self) -> None:
-        for root, items in self.state.provided.items():
-            for item in items:
-                self.queue.put((root, None, item))
-        self.state.counters.inc("seed_tasks", self.queue.qsize())
+        if self.batch_size > 1:
+            for root, items in self.state.provided.items():
+                for chunk in chunked([(root, None, item) for item in items], self.batch_size):
+                    self.queue.put(as_envelope(chunk))
+        else:
+            for root, items in self.state.provided.items():
+                for item in items:
+                    self.queue.put((root, None, item))
+        self.state.counters.inc("seed_tasks", self.queue.outstanding)
 
     # ------------------------------------------------------------- workers
     def _graph_copy(self, worker_key: str) -> Dict[str, GenericPE]:
@@ -90,15 +105,34 @@ class DynamicWorkforce:
         try:
             emissions = copies[pe_name]._invoke(inputs)
             self.state.counters.inc("tasks")
-            for delivery in dispatch_emissions(
-                self.concrete, self.state.collector, pe_name, 0, emissions
-            ):
+            children = [
+                (delivery.dst, delivery.dst_port, marshal(delivery.data))
+                for delivery in dispatch_emissions(
+                    self.concrete, self.state.collector, pe_name, 0, emissions
+                )
+            ]
+            for chunk in chunked(children, self.batch_size):
+                # Queue transfer cost is charged once per queue item: the
+                # amortization batching exists for.
                 if self.state.platform.queue_latency > 0:
                     self.state.ctx.io_wait(self.state.platform.queue_latency)
-                self.queue.put((delivery.dst, delivery.dst_port, marshal(delivery.data)))
+                self.queue.put(as_envelope(chunk))
                 self.state.counters.inc("queue_puts")
         finally:
             self.queue.mark_done()
+
+    def process_item(self, copies: Dict[str, GenericPE], item: Any) -> int:
+        """Run every task carried by one queue item; returns the count.
+
+        Batch-aware consumption: the envelope is iterated without
+        re-entering the queue machinery per tuple, and each tuple is
+        settled individually (``mark_done`` inside :meth:`process_task`) so
+        the outstanding count is exact even if a mid-envelope task fails.
+        """
+        tasks = batch_items(item)
+        for task in tasks:
+            self.process_task(copies, task)
+        return len(tasks)
 
     def is_terminated(self) -> bool:
         """The termination condition (safe by default, see module docs)."""
@@ -130,14 +164,15 @@ class DynamicWorkforce:
             if task is POISON_PILL:
                 return
             empty_streak = 0
-            self.process_task(copies, task)
+            self.process_item(copies, task)
 
     def drain_session(self, worker_key: str, chunk: int) -> int:
         """Auto-scaled session: process up to ``chunk`` tasks, stop on empty.
 
         Returns the number of tasks processed, so the caller can observe
         starvation.  Sessions never decide termination -- the auto-scaler's
-        ``process`` loop owns that (Algorithm 1).
+        ``process`` loop owns that (Algorithm 1).  ``chunk`` is a soft cap
+        at batch granularity: an envelope is never split across sessions.
         """
         copies = self._graph_copy(worker_key)
         timeout = self.state.clock.to_real(self.policy.poll_interval)
@@ -149,8 +184,7 @@ class DynamicWorkforce:
                 break
             if task is POISON_PILL:
                 break
-            self.process_task(copies, task)
-            processed += 1
+            processed += self.process_item(copies, task)
         return processed
 
 
@@ -158,6 +192,7 @@ class DynamicWorkforce:
     Capabilities(
         stateful=False,
         dynamic=True,
+        batching=True,
         description="Dynamic scheduling on a global multiprocessing queue",
     )
 )

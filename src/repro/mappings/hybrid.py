@@ -43,6 +43,22 @@ twice (at-least-once): the outstanding-work credit of an uncommitted
 delivery is only released by the checkpoint that covers it, which also
 keeps the drain proof honest across crashes.
 
+Batched transport (``batch_size``)
+----------------------------------
+Both planes micro-batch with ``batch_size > 1``: stateless tasks travel as
+batch envelopes on the global stream (as in ``dyn_redis``), and deliveries
+into a private queue are grouped per pinned instance -- one RPUSHSEQ
+element carrying up to ``batch_size`` messages under a **single sequence
+number**, with its credits added by one ``INCRBY len(batch)``.  The
+consumer BLMOVEs one element per round trip (= up to ``batch_size``
+tuples), and the recovery machinery operates at batch granularity
+throughout: an envelope is one pending-log element (checkpoint trimming is
+untouched), its credits are released all-or-nothing by the checkpoint that
+covers it, and replay dedup compares the envelope's sequence number --
+either the whole envelope predates the snapshot or none of it does, which
+is exactly the atomicity the per-element seq provides.  The close marker
+is never batched.
+
 The paper evaluates this mapping against ``multi`` on the Sentiment
 Analysis workflow (Figure 12, Table 3), where it reaches as low as 32% of
 the baseline runtime.
@@ -61,12 +77,14 @@ from repro.mappings.base import (
     Mapping,
     dispatch_emissions,
     instantiate,
+    resolve_batch_size,
 )
 from repro.mappings.redis_tasks import PILL, RedisTaskBoard, reclaim_threshold_ms
 from repro.mappings.registry import Capabilities, register_mapping
 from repro.mappings.termination import TerminationPolicy
 from repro.redisim.client import RedisClient
 from repro.redisim.server import RedisServer
+from repro.runtime.queues import Batch, as_envelope, batch_items, batch_len, chunked
 from repro.state import (
     CrashInjector,
     DEFAULT_CHECKPOINT_INTERVAL,
@@ -82,6 +100,7 @@ from repro.state import (
         dynamic=True,
         requires_redis=True,
         recoverable=True,
+        batching=True,
         min_processes=2,
         description="Stateful-aware hybrid: pinned state + dynamic stateless pool",
     )
@@ -119,6 +138,7 @@ class HybridRedisMapping(Mapping):
                 f"checkpoint_interval must be >= 1, got {checkpoint_interval}"
             )
         max_respawns: int = state.options.get("max_respawns", 3)
+        batch_size = resolve_batch_size(state.options)
         trace = ScalingTrace(metric_name="recovery events") if recovery else None
 
         def new_client() -> RedisClient:
@@ -173,6 +193,10 @@ class HybridRedisMapping(Mapping):
             return f"{namespace}:private:{pe_name}:{index}"
 
         abort = threading.Event()
+        #: Set by the coordinator once the run is drained and pills are out.
+        #: With batched fetches (count > 1) one worker can swallow pills
+        #: meant for peers; the event is the peers' pill-independent exit.
+        shutdown = threading.Event()
 
         def push_private(target, key: str, message: tuple) -> None:
             """Push one message onto a private queue (client or pipeline).
@@ -196,16 +220,40 @@ class HybridRedisMapping(Mapping):
             across both planes.  In recoverable mode private-queue pushes
             are sequence-tagged (RPUSHSEQ) so consumers get a stable replay
             cursor.
+
+            With ``batch_size > 1`` deliveries are grouped: stateless tasks
+            into stream-entry envelopes, private-queue messages per pinned
+            instance into single RPUSHSEQ elements (one seq per envelope),
+            each preceded by one ``INCRBY len(envelope)`` -- credits always
+            land before the payload, so the drain proof never observes a
+            published-but-uncounted tuple.
             """
+            if batch_size <= 1:
+                for d in deliveries:
+                    pipe.incr(board.counter_key)
+                    if d.dst in stateful_names:
+                        push_private(
+                            pipe, private_key(d.dst, d.dst_index), ("data", d.dst_port, d.data)
+                        )
+                        state.counters.inc("private_puts")
+                    else:
+                        pipe.xadd(board.stream_key, {"task": (d.dst, d.dst_port, d.data)})
+                return
+            stateless_tasks: List[tuple] = []
+            private: Dict[str, List[tuple]] = {}
             for d in deliveries:
-                pipe.incr(board.counter_key)
                 if d.dst in stateful_names:
-                    push_private(
-                        pipe, private_key(d.dst, d.dst_index), ("data", d.dst_port, d.data)
+                    private.setdefault(private_key(d.dst, d.dst_index), []).append(
+                        ("data", d.dst_port, d.data)
                     )
-                    state.counters.inc("private_puts")
                 else:
-                    pipe.xadd(board.stream_key, {"task": (d.dst, d.dst_port, d.data)})
+                    stateless_tasks.append((d.dst, d.dst_port, d.data))
+            board.queue_tasks(pipe, stateless_tasks, batch_size)
+            for key, messages in private.items():
+                for chunk in chunked(messages, batch_size):
+                    pipe.incrby(board.counter_key, len(chunk))
+                    push_private(pipe, key, as_envelope(chunk))
+                    state.counters.inc("private_puts", len(chunk))
 
         def route_and_dispatch(
             pe_name: str, index: int, emissions: List[Tuple[str, object]], client: RedisClient
@@ -232,15 +280,39 @@ class HybridRedisMapping(Mapping):
                 if recovery:
                     state_store.delete(f"{name}.{idx}")
         rr_counter = 0
-        for root, items in state.provided.items():
-            for item in items:
-                if root in stateful_names:
-                    index = rr_counter % allocation[root]
-                    rr_counter += 1
-                    seed_client.incr(board.counter_key)
-                    push_private(seed_client, private_key(root, index), ("root", item, None))
-                else:
-                    board.put((root, None, item), client=seed_client)
+        if batch_size > 1:
+            # Group seeds like deliveries: round-robin assignment at tuple
+            # granularity (identical placement to the unbatched path), then
+            # envelope per destination; one pipelined round trip total.
+            stateless_seeds: List[tuple] = []
+            private_seeds: Dict[str, List[tuple]] = {}
+            for root, items in state.provided.items():
+                for item in items:
+                    if root in stateful_names:
+                        index = rr_counter % allocation[root]
+                        rr_counter += 1
+                        private_seeds.setdefault(private_key(root, index), []).append(
+                            ("root", item, None)
+                        )
+                    else:
+                        stateless_seeds.append((root, None, item))
+            seed_pipe = seed_client.pipeline()
+            board.queue_tasks(seed_pipe, stateless_seeds, batch_size)
+            for key, messages in private_seeds.items():
+                for chunk in chunked(messages, batch_size):
+                    seed_pipe.incrby(board.counter_key, len(chunk))
+                    push_private(seed_pipe, key, as_envelope(chunk))
+            seed_pipe.execute()
+        else:
+            for root, items in state.provided.items():
+                for item in items:
+                    if root in stateful_names:
+                        index = rr_counter % allocation[root]
+                        rr_counter += 1
+                        seed_client.incr(board.counter_key)
+                        push_private(seed_client, private_key(root, index), ("root", item, None))
+                    else:
+                        board.put((root, None, item), client=seed_client)
 
         # --------------------------------------------------- stateful plane
         #: Live thread per pinned instance; replaced on re-pin.
@@ -365,28 +437,41 @@ class HybridRedisMapping(Mapping):
                 for pe in copies.values():
                     pe.preprocess()
 
-                def run_task(entry_id: str, task) -> None:
-                    pe_name, port, payload = task
-                    inputs = payload if port is None else {port: payload}
+                def run_entry(entry_id: str, payload) -> None:
+                    """Run every task in one stream entry; settle it once.
+
+                    Children from the whole envelope are published and the
+                    entry's credits released (conditional XACKDECR, amount
+                    = envelope size) in a single pipelined round trip.
+                    """
+                    tasks = board.entry_tasks(payload)
                     pipe = client.pipeline()
                     try:
-                        emissions = copies[pe_name]._invoke(inputs)
-                        state.counters.inc("tasks")
-                        queue_deliveries(
-                            pipe,
-                            dispatch_emissions(
-                                concrete, state.collector, pe_name, 0, emissions
-                            ),
-                        )
+                        deliveries: List[Delivery] = []
+                        for task in tasks:
+                            pe_name, port, item = task
+                            inputs = item if port is None else {port: item}
+                            emissions = copies[pe_name]._invoke(inputs)
+                            state.counters.inc("tasks")
+                            deliveries.extend(
+                                dispatch_emissions(
+                                    concrete, state.collector, pe_name, 0, emissions
+                                )
+                            )
+                        queue_deliveries(pipe, deliveries)
                     finally:
                         pipe.xack_decr(
-                            board.stream_key, board.group, entry_id, board.counter_key
+                            board.stream_key,
+                            board.group,
+                            entry_id,
+                            board.counter_key,
+                            len(tasks),
                         )
                         pipe.execute()
 
                 base_block = max(1, int(state.clock.to_real(policy.poll_interval) * 1000))
                 empty_streak = 0
-                while not abort.is_set():
+                while not abort.is_set() and not shutdown.is_set():
                     # Exponential poll backoff while starved, so idle workers
                     # do not storm the server (and the GIL) at 1 kHz.
                     block_ms = min(base_block * (1 << min(empty_streak, 6)), 64 * base_block)
@@ -406,18 +491,26 @@ class HybridRedisMapping(Mapping):
                             recovered = board.recover_stale(
                                 consumer, client, min_idle_ms=reclaim_idle_ms
                             )
-                            for entry_id, task in recovered:
+                            for entry_id, payload in recovered:
                                 state.counters.inc("reclaimed")
-                                run_task(entry_id, task)
+                                run_entry(entry_id, payload)
                             if recovered:
                                 empty_streak = 0
                         continue
                     empty_streak = 0
-                    for entry_id, task in fetched:
-                        if task is PILL:
+                    # Pills trail real work in stream order; process the
+                    # tasks first, ack every fetched pill (a multi-entry
+                    # fetch may grab pills meant for peers, who then exit
+                    # via the termination condition), then leave.
+                    got_pill = False
+                    for entry_id, payload in fetched:
+                        if payload is PILL:
                             board.ack(entry_id, client)
-                            return
-                        run_task(entry_id, task)
+                            got_pill = True
+                            continue
+                        run_entry(entry_id, payload)
+                    if got_pill:
+                        return
             except BaseException as exc:  # noqa: BLE001 - worker boundary
                 state.record_error(exc)
                 abort.set()
@@ -504,6 +597,7 @@ class HybridRedisMapping(Mapping):
             abort.set()
         finally:
             board.put_pills(len(stateless_threads))
+            shutdown.set()
             for t in stateless_threads:
                 t.join(timeout=join_timeout)
                 if t.is_alive():
@@ -522,12 +616,42 @@ class HybridRedisMapping(Mapping):
         _kind, port, data = message
         return instance._invoke({port: data})
 
+    @staticmethod
+    def _is_close(item) -> bool:
+        """True for the staged-close marker (never travels inside a batch)."""
+        return not isinstance(item, Batch) and item[0] == "close"
+
+    def _invoke_element(
+        self, state, instance, pe_name, index, item, *,
+        concrete, injector, iid,
+    ) -> List[Delivery]:
+        """Run every message of one private-queue element (bare or batch).
+
+        Returns the routed deliveries of the whole element so the caller
+        can publish them (and settle the element's credits) in a single
+        pipelined round trip.  Crash-injection points stay *per message* --
+        mid-batch crashes are exactly the boundary case recovery must
+        survive -- while the post-dispatch point belongs to the caller.
+        """
+        deliveries: List[Delivery] = []
+        for message in batch_items(item):
+            if injector is not None:
+                injector.record_invocation(iid)
+            emissions = self._invoke_message(instance, message)
+            state.counters.inc("stateful_tasks")
+            if injector is not None:
+                injector.maybe_crash(iid, "post-process")
+            deliveries.extend(
+                dispatch_emissions(concrete, state.collector, pe_name, index, emissions)
+            )
+        return deliveries
+
     def _run_plain(
         self, state, instance, pe_name, index, *,
         client, key, board, policy, abort, queue_deliveries, concrete,
         injector=None,
     ) -> None:
-        """Non-recoverable consumption: destructive BLPOP, per-message decr.
+        """Non-recoverable consumption: destructive BLPOP, per-element decr.
 
         ``injector`` is honoured here too (with ``recover=False``) so the
         pre-recovery failure mode -- a dead pinned worker stalling the run
@@ -539,22 +663,18 @@ class HybridRedisMapping(Mapping):
             hit = client.blpop(key, timeout=timeout)
             if hit is None:
                 continue
-            _key, message = hit
-            if message[0] == "close":
+            _key, item = hit
+            if self._is_close(item):
                 return
-            if injector is not None:
-                injector.record_invocation(iid)
-            emissions = self._invoke_message(instance, message)
-            state.counters.inc("stateful_tasks")
-            if injector is not None:
-                injector.maybe_crash(iid, "post-process")
-            # One pipelined round trip: children + completion.
-            pipe = client.pipeline()
-            queue_deliveries(
-                pipe,
-                dispatch_emissions(concrete, state.collector, pe_name, index, emissions),
+            deliveries = self._invoke_element(
+                state, instance, pe_name, index, item,
+                concrete=concrete, injector=injector, iid=iid,
             )
-            pipe.decr(board.counter_key)
+            # One pipelined round trip: children + completion.  The element
+            # carries one credit per tuple it batched; release them all.
+            pipe = client.pipeline()
+            queue_deliveries(pipe, deliveries)
+            pipe.decrby(board.counter_key, batch_len(item))
             pipe.execute()
             if injector is not None:
                 injector.maybe_crash(iid, "post-dispatch")
@@ -571,13 +691,21 @@ class HybridRedisMapping(Mapping):
         is processed but when a checkpoint covers it -- so a crash can never
         lose a credited delivery, and the coordinator's drain proof remains
         exact across crashes and re-pins.
+
+        Batched elements keep every invariant at batch granularity: one
+        pending-log element = one sequence number = ``len(batch)`` credits,
+        applied/deduplicated/released as a unit.  The checkpoint interval
+        counts *tuples* (credits), so ``checkpoint_interval=N`` still bounds
+        the replay window to ~N deliveries regardless of envelope size; an
+        envelope is never split across a checkpoint -- the interval firing
+        mid-batch checkpoints right after the element completes.
         """
         iid = instance.instance_id
         pending_key = f"{key}:pending"
         timeout = max(0.005, state.clock.to_real(policy.poll_interval))
         last_seq = 0
-        uncommitted_entries = 0  # pending-log entries not yet trimmed
-        uncommitted_credits = 0  # outstanding-counter credits not yet released
+        uncommitted_entries = 0  # pending-log elements not yet trimmed
+        uncommitted_credits = 0  # outstanding-counter credits (tuples) not yet released
 
         snap = store.load(iid)
         if snap is not None:
@@ -609,27 +737,24 @@ class HybridRedisMapping(Mapping):
             uncommitted_credits = 0
             state.counters.inc("checkpoints")
 
-        def process(seq: int, message) -> None:
+        def process(seq: int, item) -> None:
             nonlocal last_seq, uncommitted_entries, uncommitted_credits
             uncommitted_entries += 1
-            uncommitted_credits += 1
+            uncommitted_credits += batch_len(item)
             if seq <= last_seq:
                 # Already reflected in the restored snapshot: skip the state
-                # mutation, but keep the entry in this commit window so its
-                # credit is released by the next checkpoint.
-                state.counters.inc("deduplicated")
+                # mutation, but keep the element in this commit window so
+                # its credits are released by the next checkpoint.  Dedup is
+                # exact at batch granularity because the element was applied
+                # atomically under one seq before the snapshot covered it.
+                state.counters.inc("deduplicated", batch_len(item))
                 return
-            if injector is not None:
-                injector.record_invocation(iid)
-            emissions = self._invoke_message(instance, message)
-            state.counters.inc("stateful_tasks")
-            if injector is not None:
-                injector.maybe_crash(iid, "post-process")
-            pipe = client.pipeline()
-            queue_deliveries(
-                pipe,
-                dispatch_emissions(concrete, state.collector, pe_name, index, emissions),
+            deliveries = self._invoke_element(
+                state, instance, pe_name, index, item,
+                concrete=concrete, injector=injector, iid=iid,
             )
+            pipe = client.pipeline()
+            queue_deliveries(pipe, deliveries)
             pipe.execute()
             last_seq = seq
             if injector is not None:
@@ -641,12 +766,12 @@ class HybridRedisMapping(Mapping):
         replayed_close = False
         backlog = client.lrange_seq(pending_key)
         if backlog:
-            state.counters.inc("replayed", len(backlog))
-        for seq, message in backlog:
-            if message[0] == "close":
+            state.counters.inc("replayed", sum(batch_len(item) for _s, item in backlog))
+        for seq, item in backlog:
+            if self._is_close(item):
                 replayed_close = True
                 break
-            process(seq, message)
+            process(seq, item)
         if backlog:
             checkpoint()
 
@@ -657,11 +782,11 @@ class HybridRedisMapping(Mapping):
                 # even when the stream ends mid-interval.
                 checkpoint()
                 continue
-            seq, message = hit
-            if message[0] == "close":
+            seq, item = hit
+            if self._is_close(item):
                 break
-            process(seq, message)
-            if uncommitted_entries >= checkpoint_interval:
+            process(seq, item)
+            if uncommitted_credits >= checkpoint_interval:
                 checkpoint()
         checkpoint()
         # The close marker (which carries no credit) is all that can remain.

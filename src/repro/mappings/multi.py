@@ -33,9 +33,11 @@ from repro.mappings.base import (
     dispatch_emissions,
     instantiate,
     marshal,
+    resolve_batch_linger,
+    resolve_batch_size,
 )
 from repro.mappings.registry import Capabilities, register_mapping
-from repro.runtime.queues import CloseableQueue
+from repro.runtime.queues import BatchingBuffer, CloseableQueue, Empty, batch_items
 
 #: Message tags on instance queues.
 _DATA = "data"
@@ -45,6 +47,7 @@ _PILL = "pill"
 @register_mapping(
     Capabilities(
         stateful=True,
+        batching=True,
         static_allocation=True,
         description="Static Multiprocessing baseline (one process per instance)",
     )
@@ -59,6 +62,8 @@ class MultiMapping(Mapping):
         graph = state.graph
         concrete = ConcreteWorkflow.from_static(graph, state.processes)
         allocation = concrete.allocation
+        batch_size = resolve_batch_size(state.options)
+        batch_linger = resolve_batch_linger(state.options)
         state.counters.inc("instances", concrete.total_instances())
         state.counters.inc("idle_processes", state.processes - concrete.total_instances())
 
@@ -81,13 +86,55 @@ class MultiMapping(Mapping):
 
         send_lock = threading.Lock()
 
-        def send(dst: str, dst_index: int, message: Tuple[str, str, Any]) -> None:
+        def send(dst: str, dst_index: int, message: Any) -> None:
             # Queue transfer cost is charged to the sender (as a pickle +
-            # pipe write would be); no core is held while waiting.
+            # pipe write would be), once per queue item -- a batch envelope
+            # is one transfer; no core is held while waiting.
             if state.platform.queue_latency > 0:
                 state.ctx.io_wait(state.platform.queue_latency)
             queues[(dst, dst_index)].put(message)
             state.counters.inc("queue_puts")
+
+        def make_deliver():
+            """Per-worker delivery path: direct sends, or batched via a
+            worker-local :class:`BatchingBuffer` per destination instance.
+
+            Buffers are worker-owned (no locking on the hot path); the
+            returned ``flush`` MUST run before the worker's pills go out,
+            so end-of-stream can never overtake buffered tuples on the
+            same channel (FIFO per queue then guarantees pill-after-data).
+            The third element, ``poll``, is non-None when a linger bound is
+            set: the worker calls it while idle so a buffered tail honours
+            the bound even with no further traffic to that destination.
+            """
+            if batch_size <= 1:
+                return send, lambda: None, None
+            buffers: Dict[Tuple[str, int], BatchingBuffer] = {}
+
+            def deliver(dst: str, dst_index: int, message: Any) -> None:
+                key = (dst, dst_index)
+                buffer = buffers.get(key)
+                if buffer is None:
+                    buffer = BatchingBuffer(
+                        lambda item, _key=key: send(_key[0], _key[1], item),
+                        batch_size=batch_size,
+                        linger=batch_linger,
+                    )
+                    # Attached so a close() of the destination channel can
+                    # never strand (or outrace) a buffered tail tuple.
+                    queues[key].attach_buffer(buffer)
+                    buffers[key] = buffer
+                buffer.add(message)
+
+            def flush() -> None:
+                for buffer in buffers.values():
+                    buffer.flush()
+
+            def poll() -> None:
+                for buffer in buffers.values():
+                    buffer.poll()
+
+            return deliver, flush, (poll if batch_linger > 0 else None)
 
         def broadcast_pills(pe_name: str) -> None:
             """A finished instance closes every downstream instance's port."""
@@ -97,11 +144,13 @@ class MultiMapping(Mapping):
                         send(edge.dst, dst_index, (_PILL, edge.dst_port, None))
                         state.counters.inc("pills")
 
-        def route_out(pe_name: str, index: int, emissions: List[Tuple[str, Any]]) -> None:
+        def route_out(
+            pe_name: str, index: int, emissions: List[Tuple[str, Any]], deliver
+        ) -> None:
             for delivery in dispatch_emissions(
                 concrete, state.collector, pe_name, index, emissions
             ):
-                send(delivery.dst, delivery.dst_index, (_DATA, delivery.dst_port, marshal(delivery.data)))
+                deliver(delivery.dst, delivery.dst_index, (_DATA, delivery.dst_port, marshal(delivery.data)))
 
         def split_inputs(items: List[Dict[str, Any]], count: int) -> List[List[Dict[str, Any]]]:
             shares: List[List[Dict[str, Any]]] = [[] for _ in range(count)]
@@ -117,30 +166,49 @@ class MultiMapping(Mapping):
 
         def worker(pe_name: str, index: int) -> None:
             worker_id = f"{pe_name}.{index}"
+            deliver, flush_outbox, poll_outbox = make_deliver()
             try:
                 instance = instantiate(graph.pe(pe_name), index, allocation[pe_name], state.ctx)
                 instance.preprocess()
                 for item in root_shares.get((pe_name, index), []):
                     emissions = instance._invoke(item)
                     state.counters.inc("tasks")
-                    route_out(pe_name, index, emissions)
+                    route_out(pe_name, index, emissions, deliver)
                 remaining = dict(expected_pills[(pe_name, index)])
                 queue = queues[(pe_name, index)]
                 while any(v > 0 for v in remaining.values()):
-                    tag, port, payload = queue.get()
-                    if tag == _PILL:
-                        remaining[port] -= 1
-                        continue
-                    emissions = instance._invoke({port: payload})
-                    state.counters.inc("tasks")
-                    route_out(pe_name, index, emissions)
-                route_out(pe_name, index, instance._flush_postprocess())
+                    if poll_outbox is None:
+                        item = queue.get()
+                    else:
+                        # Wake at the linger cadence so a buffered tail
+                        # flushes on deadline even while we are starved of
+                        # input (the documented upper bound on buffering).
+                        try:
+                            item = queue.get(timeout=batch_linger)
+                        except Empty:
+                            poll_outbox()
+                            continue
+                    # A queue item is a message or a batch envelope of
+                    # messages; iterate without re-polling per tuple.
+                    for tag, port, payload in batch_items(item):
+                        if tag == _PILL:
+                            remaining[port] -= 1
+                            continue
+                        emissions = instance._invoke({port: payload})
+                        state.counters.inc("tasks")
+                        route_out(pe_name, index, emissions, deliver)
+                route_out(pe_name, index, instance._flush_postprocess(), deliver)
+                # Flush buffered tuples BEFORE the pills: per-queue FIFO
+                # then guarantees no consumer sees end-of-stream with our
+                # data still buffered behind it.
+                flush_outbox()
                 broadcast_pills(pe_name)
             except BaseException as exc:  # noqa: BLE001 - worker boundary
                 state.record_error(exc)
                 # Close downstream anyway so peers do not hang on a dead
                 # producer; the error is re-raised after the run.
                 try:
+                    flush_outbox()
                     broadcast_pills(pe_name)
                 except BaseException as cleanup_exc:  # pragma: no cover
                     state.record_error(cleanup_exc)

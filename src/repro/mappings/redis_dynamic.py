@@ -8,6 +8,18 @@ string.  Each worker owns its own client connection; the per-command
 latency of the platform profile models the client/server round trip that
 makes Redis mappings heavier than their multiprocessing twins
 (Section 5.6).
+
+With ``batch_size > 1`` the transport is micro-batched end-to-end: root
+seeds and children are published as batch envelopes (one ``XADD`` + one
+``INCRBY`` per up-to-``batch_size`` tasks), and workers settle each
+fetched envelope with a single conditional ``XACKDECR
+amount=len(envelope)`` -- cutting the per-tuple command count (the
+round-trip handicap above) by the batch factor while keeping the
+outstanding-counter drain proof exact at batch granularity.  Fetches stay
+one *entry* per poll: an entry already carries up to ``batch_size``
+tuples, and pulling several envelopes at once would hand one worker a
+quadratic slice of the backlog and collapse load balancing exactly when
+work is scarce.
 """
 
 from __future__ import annotations
@@ -23,6 +35,7 @@ from repro.mappings.base import (
     Mapping,
     dispatch_emissions,
     instantiate,
+    resolve_batch_size,
 )
 from repro.mappings.redis_tasks import PILL, RedisTaskBoard, reclaim_threshold_ms
 from repro.mappings.registry import Capabilities, register_mapping
@@ -38,6 +51,8 @@ class RedisWorkforce:
         self.state = state
         self.policy = policy
         self.server: RedisServer = state.options.get("redis_server") or RedisServer()
+        #: Transport granularity: tasks per stream entry / entries per poll.
+        self.batch_size: int = resolve_batch_size(state.options)
         #: How long a pending entry must sit unacknowledged before a starved
         #: peer adopts it (XAUTOCLAIM); see :func:`reclaim_threshold_ms`.
         self.reclaim_idle_ms: float = reclaim_threshold_ms(state.options, state.clock)
@@ -61,9 +76,18 @@ class RedisWorkforce:
         return self._new_client()
 
     def seed_roots(self) -> None:
-        for root, items in self.state.provided.items():
-            for item in items:
-                self.board.put((root, None, item))
+        if self.batch_size > 1:
+            # One pipelined publication, envelopes of up to batch_size.
+            tasks = [
+                (root, None, item)
+                for root, items in self.state.provided.items()
+                for item in items
+            ]
+            self.board.put_many(tasks, batch_size=self.batch_size)
+        else:
+            for root, items in self.state.provided.items():
+                for item in items:
+                    self.board.put((root, None, item))
         self.state.counters.inc("seed_tasks", self.board.outstanding())
 
     def graph_copy(self, worker_key: str) -> Dict[str, GenericPE]:
@@ -81,28 +105,42 @@ class RedisWorkforce:
             self.state.counters.inc("graph_copies")
         return copies
 
-    def process_task(
+    def process_entry(
         self,
         copies: Dict[str, GenericPE],
         entry_id: str,
-        task: tuple,
+        payload: object,
         client: RedisClient,
-    ) -> None:
-        pe_name, port, payload = task
-        inputs = payload if port is None else {port: payload}
+    ) -> int:
+        """Run every task carried by one stream entry; returns the count.
+
+        The batch-aware hot path: an entry may be a single task or a batch
+        envelope.  All tasks are executed without re-entering the fetch/ack
+        machinery per tuple; their children are gathered and the entry is
+        settled once -- one pipelined round trip publishing the children in
+        envelopes and releasing the entry's credits with a conditional
+        ``XACKDECR amount=len(entry)``.
+        """
+        tasks = self.board.entry_tasks(payload)
         children = []
         try:
-            emissions = copies[pe_name]._invoke(inputs)
-            self.state.counters.inc("tasks")
-            children = [
-                (d.dst, d.dst_port, d.data)
-                for d in dispatch_emissions(
-                    self.concrete, self.state.collector, pe_name, 0, emissions
+            for task in tasks:
+                pe_name, port, item = task
+                inputs = item if port is None else {port: item}
+                emissions = copies[pe_name]._invoke(inputs)
+                self.state.counters.inc("tasks")
+                children.extend(
+                    (d.dst, d.dst_port, d.data)
+                    for d in dispatch_emissions(
+                        self.concrete, self.state.collector, pe_name, 0, emissions
+                    )
                 )
-            ]
         finally:
             # One pipelined round trip: publish children, ack, complete.
-            self.board.finish(entry_id, children, client)
+            self.board.finish_entry(
+                entry_id, len(tasks), children, client, batch_size=self.batch_size
+            )
+        return len(tasks)
 
     def is_terminated(self) -> bool:
         if self.policy.unsafe_empty_check:
@@ -129,10 +167,11 @@ class RedisWorkforce:
         recovered = self.board.recover_stale(
             consumer, client, min_idle_ms=self.reclaim_idle_ms
         )
-        for entry_id, task in recovered:
+        tasks = 0
+        for entry_id, payload in recovered:
             self.state.counters.inc("reclaimed")
-            self.process_task(copies, entry_id, task, client)
-        return len(recovered)
+            tasks += self.process_entry(copies, entry_id, payload, client)
+        return tasks
 
     def worker_loop(self, worker_key: str, consumer: str, total_workers: int) -> None:
         """Dedicated-worker loop (dyn_redis): run until termination."""
@@ -164,14 +203,28 @@ class RedisWorkforce:
                         empty_streak = 0
                 continue
             empty_streak = 0
-            for entry_id, task in fetched:
-                if task is PILL:
+            # Pills always trail real work in stream order (they are only
+            # broadcast once the board drained), so process tasks first and
+            # exit on the pill.  A multi-entry fetch may pull pills meant
+            # for peers into our PEL; ack them all -- the peers still
+            # terminate through the outstanding==0 condition.
+            got_pill = False
+            for entry_id, payload in fetched:
+                if payload is PILL:
                     self.board.ack(entry_id, client)
-                    return
-                self.process_task(copies, entry_id, task, client)
+                    got_pill = True
+                    continue
+                self.process_entry(copies, entry_id, payload, client)
+            if got_pill:
+                return
 
     def drain_session(self, worker_key: str, consumer: str, chunk: int) -> int:
-        """Auto-scaled session: process up to ``chunk`` tasks, stop on empty."""
+        """Auto-scaled session: process up to ``chunk`` tasks, stop on empty.
+
+        ``chunk`` is a soft cap at batch granularity: a session never
+        splits a fetched envelope, so it may overshoot by at most one
+        fetch's worth of tasks.
+        """
         copies = self.graph_copy(worker_key)
         client = self.client_for_worker()
         block_ms = max(1, int(self.state.clock.to_real(self.policy.poll_interval) * 1000))
@@ -182,12 +235,15 @@ class RedisWorkforce:
                 if not self.is_terminated():
                     processed += self.reclaim_stale(copies, consumer, client)
                 break
-            for entry_id, task in fetched:
-                if task is PILL:
+            got_pill = False
+            for entry_id, payload in fetched:
+                if payload is PILL:
                     self.board.ack(entry_id, client)
-                    return processed
-                self.process_task(copies, entry_id, task, client)
-                processed += 1
+                    got_pill = True
+                    continue
+                processed += self.process_entry(copies, entry_id, payload, client)
+            if got_pill:
+                return processed
         return processed
 
     def teardown(self) -> None:
@@ -200,6 +256,7 @@ class RedisWorkforce:
         dynamic=True,
         requires_redis=True,
         recoverable=True,
+        batching=True,
         description="Dynamic scheduling on a Redis Stream consumer group",
     )
 )

@@ -48,6 +48,11 @@ class Capabilities:
         Survives worker crashes mid-run: consumer-group PEL reclaim for
         stateless tasks, and -- on ``hybrid_redis`` -- checkpoint/restore
         of pinned stateful instances (:mod:`repro.state`).
+    batching:
+        Honours the ``batch_size`` / ``batch_linger_ms`` transport options
+        (micro-batched tuple envelopes on its queues/streams).  Mappings
+        without it are rejected by the engine when batching is requested,
+        rather than silently running unbatched.
     static_allocation:
         Uses the static partitioning rule, which imposes a per-graph
         process floor (one process per PE instance).
@@ -62,6 +67,7 @@ class Capabilities:
     autoscaling: bool = False
     dynamic: bool = False
     recoverable: bool = False
+    batching: bool = False
     static_allocation: bool = False
     min_processes: int = 1
     description: str = ""

@@ -93,8 +93,10 @@ class Pipeline:
     def xack(self, key: str, group: str, *entry_ids: str) -> "Pipeline":
         return self._queue("xack", key, group, *entry_ids)
 
-    def xack_decr(self, key: str, group: str, entry_id: str, counter_key: str) -> "Pipeline":
-        return self._queue("xackdecr", key, group, entry_id, counter_key)
+    def xack_decr(
+        self, key: str, group: str, entry_id: str, counter_key: str, amount: int = 1
+    ) -> "Pipeline":
+        return self._queue("xackdecr", key, group, entry_id, counter_key, amount)
 
     def delete(self, *keys: str) -> "Pipeline":
         return self._queue("delete", *keys)
@@ -422,10 +424,16 @@ class RedisClient:
         self._charge()
         return self._server.xack(key, group, *entry_ids)
 
-    def xack_decr(self, key: str, group: str, entry_id: str, counter_key: str) -> int:
-        """XACK + conditional DECR in one atomic server-side step."""
+    def xack_decr(
+        self, key: str, group: str, entry_id: str, counter_key: str, amount: int = 1
+    ) -> int:
+        """XACK + conditional DECRBY in one atomic server-side step.
+
+        ``amount`` is the entry's work-unit count (``len(batch)`` for batch
+        envelopes), released all-or-nothing with the ack.
+        """
         self._charge()
-        return self._server.xackdecr(key, group, entry_id, counter_key)
+        return self._server.xackdecr(key, group, entry_id, counter_key, amount)
 
     def xpending(self, key: str, group: str) -> Dict[str, Any]:
         self._charge()

@@ -731,20 +731,29 @@ class RedisServer:
                     self._check_open()
                     return []
 
-    def xackdecr(self, key: str, group: str, entry_id: str, counter_key: str) -> int:
-        """XACK one entry and, only if it was still pending, DECR a counter.
+    def xackdecr(
+        self, key: str, group: str, entry_id: str, counter_key: str, amount: int = 1
+    ) -> int:
+        """XACK one entry and, only if it was still pending, DECRBY a counter.
 
         The in-process equivalent of the Lua script real deployments pair
         with XAUTOCLAIM: completion counting must be exactly-once per
         entry, and an unconditional ``XACK + DECR`` pipeline double-
         decrements when a reclaimed entry is finished by both its original
         (slow but alive) consumer and its adopter.
+
+        ``amount`` is the number of work units the entry carried -- one for
+        a bare task, ``len(batch)`` for a batch envelope -- so counted
+        termination stays exact at batch granularity: either the whole
+        envelope's credits are released (first successful ack) or none are.
         """
+        if amount < 1:
+            raise RedisError(f"xackdecr amount must be >= 1, got {amount}")
         with self._cond:
             self._count("xackdecr")
             acked = self.xack(key, group, entry_id)
             if acked:
-                self.decrby(counter_key, 1)
+                self.decrby(counter_key, amount)
             return acked
 
     def xack(self, key: str, group: str, *entry_ids: str) -> int:

@@ -1,4 +1,4 @@
-"""Queues used by the mappings.
+"""Queues and batched-transport primitives used by the mappings.
 
 Two queue flavours are provided:
 
@@ -15,13 +15,37 @@ Two queue flavours are provided:
 Both flavours also count puts/gets so the monitoring framework (queue size
 for the ``dyn_auto_multi`` auto-scaling strategy, Figure 13) can observe them
 without touching internals.
+
+Batched transport
+-----------------
+Shipping every tuple as its own queue/stream operation makes the per-tuple
+enactment overhead (lock handoffs, round trips, wakeups) the dominant cost
+of fine-grained streams.  :class:`Batch` is the transport envelope that
+amortizes it: ``k`` tuples travel as one queue item / one Redis command,
+and batch-aware worker loops iterate the envelope without re-entering the
+dispatch machinery per tuple.  :class:`BatchingBuffer` accumulates tuples
+on the producer side and flushes on either trigger of the classic pair:
+
+- **size** -- ``batch_size`` tuples are buffered (a full envelope), or
+- **linger** -- the oldest buffered tuple has waited ``linger`` seconds
+  (bounded staleness for trickle-rate producers).
+
+Both queue flavours understand envelopes natively: a :class:`Batch` put on
+a :class:`TrackedQueue` accounts one outstanding unit *per tuple*, so the
+drain proof stays exact at any batch size, and :meth:`CloseableQueue.close`
+flushes every attached buffer before broadcasting pills, so a
+linger-buffered tail tuple can never be dropped at shutdown.
+
+``batch_size=1`` (the default everywhere) bypasses the envelope entirely --
+single tuples travel bare, exactly as before batching existed.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
-from typing import Any, Optional
+import time
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Union
 
 
 class _PoisonPill:
@@ -41,18 +65,187 @@ class Empty(Exception):
     """Raised by non-blocking/timed gets when no item is available."""
 
 
+class Batch:
+    """Transport envelope carrying several tuples as one queue/stream item.
+
+    Deliberately minimal: a ``Batch`` is *transport*, not semantics.  The
+    tuples inside are exactly what would otherwise have been shipped one by
+    one, in the same order; consumers iterate the envelope and feed each
+    tuple through the unchanged dispatch machinery.
+    """
+
+    __slots__ = ("items",)
+
+    def __init__(self, items: Iterable[Any]) -> None:
+        self.items = list(items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.items)
+
+    def __repr__(self) -> str:
+        return f"Batch({len(self.items)} items)"
+
+
+def batch_items(item: Any) -> List[Any]:
+    """The tuples carried by ``item``: its contents for a :class:`Batch`,
+    the item itself (as a singleton list) otherwise."""
+    if isinstance(item, Batch):
+        return item.items
+    return [item]
+
+
+def batch_len(item: Any) -> int:
+    """How many tuples ``item`` carries (1 for a bare tuple)."""
+    if isinstance(item, Batch):
+        return len(item.items)
+    return 1
+
+
+def chunked(items: List[Any], size: int) -> Iterator[List[Any]]:
+    """Split ``items`` into consecutive runs of at most ``size``."""
+    if size < 1:
+        raise ValueError(f"chunk size must be >= 1, got {size}")
+    for start in range(0, len(items), size):
+        yield items[start : start + size]
+
+
+def as_envelope(items: List[Any]) -> Any:
+    """The transport form of ``items``: bare for one tuple, else a Batch.
+
+    Single tuples always travel unwrapped so the ``batch_size=1``
+    configuration is byte-identical to pre-batching transport (and so
+    consumers never pay envelope overhead for unbatchable traffic).
+    """
+    if len(items) == 1:
+        return items[0]
+    return Batch(items)
+
+
+class BatchingBuffer:
+    """Producer-side tuple accumulator with size- and linger-triggered flush.
+
+    Parameters
+    ----------
+    sink:
+        Where flushed envelopes go: a callable taking one transport item
+        (a bare tuple or a :class:`Batch`).
+    batch_size:
+        Flush as soon as this many tuples are buffered.  ``1`` makes the
+        buffer a transparent pass-through (every ``add`` forwards
+        immediately, no envelope).
+    linger:
+        Maximum *real* seconds the oldest buffered tuple may wait before a
+        flush is forced.  ``0`` disables the linger trigger (size-only).
+        The check runs on every :meth:`add` and on :meth:`poll` -- this is
+        a cooperative buffer, there is no background flusher thread, so
+        owners must :meth:`flush` at natural barriers (end of stream,
+        before termination markers).  :meth:`CloseableQueue.close` does
+        this automatically for attached buffers.
+    now:
+        Clock used for the linger age (defaults to ``time.monotonic``).
+
+    A buffer is intentionally **not** thread-safe: each producer owns its
+    buffers, exactly as each producer owns its client connection in the
+    Redis mappings.
+    """
+
+    def __init__(
+        self,
+        sink: Union[Callable[[Any], Any], "CloseableQueue"],
+        batch_size: int = 1,
+        linger: float = 0.0,
+        now: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if linger < 0:
+            raise ValueError(f"linger must be >= 0, got {linger}")
+        if isinstance(sink, CloseableQueue):
+            queue_sink = sink
+            sink.attach_buffer(self)
+            self._sink: Callable[[Any], Any] = queue_sink.put
+        else:
+            self._sink = sink
+        self.batch_size = batch_size
+        self.linger = linger
+        self._now = now if now is not None else time.monotonic
+        self._items: List[Any] = []
+        self._oldest: float = 0.0
+        #: Envelopes flushed so far (monitoring).
+        self.flushes = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def pending(self) -> int:
+        """Tuples currently buffered (0 right after a flush)."""
+        return len(self._items)
+
+    def _expired(self) -> bool:
+        return (
+            self.linger > 0
+            and bool(self._items)
+            and (self._now() - self._oldest) >= self.linger
+        )
+
+    def add(self, item: Any) -> bool:
+        """Buffer one tuple; returns True when this call flushed."""
+        if self.batch_size <= 1:
+            self._sink(item)
+            self.flushes += 1
+            return True
+        if not self._items:
+            self._oldest = self._now()
+        self._items.append(item)
+        if len(self._items) >= self.batch_size or self._expired():
+            self.flush()
+            return True
+        return False
+
+    def poll(self) -> bool:
+        """Flush if the linger deadline passed; returns True when flushed.
+
+        For producers with idle periods: call between ``add`` bursts so a
+        buffered tail does not wait past ``linger`` for a companion tuple
+        that may never come.
+        """
+        if self._expired():
+            self.flush()
+            return True
+        return False
+
+    def flush(self) -> bool:
+        """Emit everything buffered as one envelope; True if anything went."""
+        if not self._items:
+            return False
+        items, self._items = self._items, []
+        self._sink(as_envelope(items))
+        self.flushes += 1
+        return True
+
+
 class CloseableQueue:
     """FIFO queue with poison-pill close, for port-to-port channels.
 
     ``close(n)`` enqueues ``n`` poison pills so that ``n`` consumers each
     observe end-of-stream exactly once.  Counted-termination logic (waiting
     for one pill per upstream producer instance) lives in the mappings.
+
+    Batched producers should create their buffer via :meth:`buffer` (or
+    attach an external one with :meth:`attach_buffer`): attached buffers
+    are flushed by :meth:`close` *before* the pills go out, so end-of-stream
+    can never overtake a linger-buffered tail tuple.
     """
 
     def __init__(self, maxsize: int = 0) -> None:
         self._q: "queue.Queue[Any]" = queue.Queue(maxsize=maxsize)
         self._close_lock = threading.Lock()
         self._closed = False
+        self._buffers: List["BatchingBuffer"] = []
 
     def put(self, item: Any) -> None:
         self._q.put(item)
@@ -82,8 +275,31 @@ class CloseableQueue:
     def closed(self) -> bool:
         return self._closed
 
+    # -- batching ----------------------------------------------------------
+    def buffer(
+        self,
+        batch_size: int = 1,
+        linger: float = 0.0,
+        now: Optional[Callable[[], float]] = None,
+    ) -> "BatchingBuffer":
+        """A producer-side :class:`BatchingBuffer` feeding this queue.
+
+        The buffer is attached, so :meth:`close` flushes it first.
+        """
+        return BatchingBuffer(self, batch_size=batch_size, linger=linger, now=now)
+
+    def attach_buffer(self, buffer: "BatchingBuffer") -> None:
+        """Register a buffer to be flushed by :meth:`close`."""
+        with self._close_lock:
+            self._buffers.append(buffer)
+
     def close(self, consumers: int = 1) -> None:
         """Signal end-of-stream to ``consumers`` readers.  Idempotent.
+
+        Attached batching buffers are flushed before the pills are
+        broadcast: a linger-buffered tail tuple must land ahead of
+        end-of-stream, or counted-termination consumers would stop reading
+        with data still in flight (and silently drop it).
 
         Only the first call broadcasts pills: re-closing (e.g. an error
         path unwinding after a clean shutdown already closed the channel)
@@ -96,6 +312,9 @@ class CloseableQueue:
             if self._closed:
                 return
             self._closed = True
+            buffers = list(self._buffers)
+        for buffer in buffers:
+            buffer.flush()
         for _ in range(consumers):
             self._q.put(POISON_PILL)
 
@@ -120,19 +339,28 @@ class TrackedQueue:
         self._q: "queue.Queue[Any]" = queue.Queue(maxsize=maxsize)
         self._lock = threading.Lock()
         self._outstanding = 0
+        self._pending_tasks = 0
         self._total_put = 0
         self._total_got = 0
         self._drained = threading.Event()
 
     # -- producer side -----------------------------------------------------
     def put(self, item: Any) -> None:
+        """Enqueue a task or a :class:`Batch` of tasks.
+
+        A batch is one queue item but ``len(batch)`` outstanding work
+        units: the drain proof counts *tuples*, not envelopes, so batching
+        the transport cannot weaken the termination condition.
+        """
         if item is POISON_PILL:
             # Pills are control messages, not work; bypass accounting.
             self._q.put(item)
             return
+        count = batch_len(item)
         with self._lock:
-            self._outstanding += 1
-            self._total_put += 1
+            self._outstanding += count
+            self._pending_tasks += count
+            self._total_put += count
             self._drained.clear()
         self._q.put(item)
 
@@ -151,26 +379,43 @@ class TrackedQueue:
         except queue.Empty:
             raise Empty() from None
         if item is not POISON_PILL:
+            count = batch_len(item)
             with self._lock:
-                self._total_got += 1
+                self._total_got += count
+                self._pending_tasks -= count
         return item
 
-    def mark_done(self) -> None:
-        """Declare the most recently got task fully processed.
+    def mark_done(self, count: int = 1) -> None:
+        """Declare ``count`` consumed tasks fully processed.
 
-        Must be called exactly once per non-pill item returned by
-        :meth:`get`, *after* any child tasks have been put.
+        Must be called exactly once per non-pill *tuple* returned by
+        :meth:`get` (a :class:`Batch` item carries several), *after* any
+        child tasks have been put.  Batch consumers may settle tuple by
+        tuple or once per envelope with ``count=len(batch)``.
         """
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
         with self._lock:
-            if self._outstanding <= 0:
+            if self._outstanding < count:
                 raise RuntimeError("mark_done called more times than tasks were got")
-            self._outstanding -= 1
+            self._outstanding -= count
             if self._outstanding == 0:
                 self._drained.set()
 
     # -- monitoring --------------------------------------------------------
     def qsize(self) -> int:
         return self._q.qsize()
+
+    @property
+    def pending_tasks(self) -> int:
+        """Tuples currently enqueued (not yet got), at tuple granularity.
+
+        The backlog signal for auto-scaling under batched transport:
+        ``qsize`` counts queue *items*, which undercounts the backlog by
+        the batch factor once envelopes are in play, and pills inflate it.
+        """
+        with self._lock:
+            return self._pending_tasks
 
     def empty(self) -> bool:
         return self._q.empty()

@@ -19,12 +19,14 @@ from repro.workflows.astro import build_internal_extinction_workflow
 from repro.workflows.seismic import build_seismic_phase1_workflow, build_seismic_phase2_workflow
 from repro.workflows.sentiment import (
     build_recoverable_sentiment_workflow,
+    build_sentiment_scoring_workflow,
     build_sentiment_workflow,
 )
 
 __all__ = [
     "build_internal_extinction_workflow",
     "build_recoverable_sentiment_workflow",
+    "build_sentiment_scoring_workflow",
     "build_seismic_phase1_workflow",
     "build_seismic_phase2_workflow",
     "build_sentiment_workflow",

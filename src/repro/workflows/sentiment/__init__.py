@@ -37,6 +37,7 @@ from repro.workflows.sentiment.pes import (
 from repro.workflows.sentiment.tokenizer import tokenize
 from repro.workflows.sentiment.workflow import (
     build_recoverable_sentiment_workflow,
+    build_sentiment_scoring_workflow,
     build_sentiment_workflow,
 )
 
@@ -54,6 +55,7 @@ __all__ = [
     "Top3Happiest",
     "afinn_score",
     "build_recoverable_sentiment_workflow",
+    "build_sentiment_scoring_workflow",
     "build_sentiment_workflow",
     "generate_articles",
     "swn3_score",

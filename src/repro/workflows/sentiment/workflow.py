@@ -81,6 +81,38 @@ def build_recoverable_sentiment_workflow(
     )
 
 
+def build_sentiment_scoring_workflow(
+    articles: int = DEFAULT_ARTICLES,
+    sentiment_instances: int = 2,
+    seed: int = 23,
+) -> Tuple[WorkflowGraph, List[int]]:
+    """The stateless scoring plane of the sentiment workflow (Figure 7).
+
+    The Figure 7 pipeline truncated before the stateful aggregation: both
+    scorer branches end at their ``findState`` PE, whose ``(state, score)``
+    tuples are collected as run outputs instead of feeding ``happyState``.
+    Identical per-article work to the full workflow on the dominant
+    stateless path, but enactable by the stateless-only dynamic mappings --
+    the workload the batching ablation uses to measure transport overhead
+    on ``dyn_auto_redis`` (the stateful plane is exercised separately via
+    ``hybrid_redis``).
+    """
+    if articles < 1:
+        raise ValueError(f"articles must be >= 1, got {articles}")
+    generate_articles(articles, seed=seed)
+    read = ReadArticles(seed=seed)
+    afinn = SentimentAFINN()
+    afinn.numprocesses = sentiment_instances
+    swn3 = SentimentSWN3()
+    swn3.numprocesses = sentiment_instances
+    afinn_branch = read >> afinn >> FindState(name="findStateAFINN")
+    swn3_branch = read >> TokenizeWD() >> swn3 >> FindState(name="findStateSWN3")
+    graph = WorkflowGraph.from_chain(
+        afinn_branch, swn3_branch, name="sentiment_scoring"
+    )
+    return graph, list(range(articles))
+
+
 def _build(
     articles: int,
     happy_cls: type,

@@ -128,6 +128,51 @@ class TestCrashRecovery:
         assert kinds.count("respawn") == 1
         assert kinds.index("crash") < kinds.index("respawn")
 
+    def test_crash_mid_batch_identical_results(self):
+        """Crash-injection between tuples of one batch envelope: the whole
+        envelope is one sequence number, so the replacement replays it in
+        full against a snapshot that predates all of it -- exactly-once on
+        state even though the crash split the envelope's execution."""
+        g = linear_graph(Emit(name="src"), StatefulCounter(name="counter", instances=2))
+        # Envelopes of 4 and a crash on the 6th invocation: mid-envelope
+        # (never on an envelope boundary) for every checkpoint alignment.
+        injector = CrashInjector({"counter.0": 6})
+        result = _run(
+            g, _items(keys=4, per_key=8), checkpoint_interval=5,
+            batch_size=4, crash_injector=injector,
+        )
+        assert sorted(result.output("counter")) == [(f"k{i}", 8) for i in range(4)]
+        assert result.counters["crashes"] == 1
+        assert result.counters["respawns"] == 1
+
+    def test_batch_split_across_checkpoint_interval(self):
+        """checkpoint_interval counts tuples, so an envelope can straddle
+        the interval boundary; the checkpoint then fires right after the
+        envelope completes and covers it whole -- never mid-envelope."""
+        g = linear_graph(Emit(name="src"), StatefulCounter(name="counter", instances=1))
+        # 24 tuples to one instance in envelopes of 5; interval 3 fires
+        # mid-envelope every time.
+        result = _run(
+            g, _items(keys=3, per_key=8), processes=3,
+            checkpoint_interval=3, batch_size=5,
+        )
+        assert sorted(result.output("counter")) == [(f"k{i}", 8) for i in range(3)]
+        assert result.counters["checkpoints"] >= 1
+
+    def test_batch_split_across_checkpoint_with_crash(self):
+        """The straddling envelope is recovered atomically: either a
+        snapshot covers all of it (crash after the post-envelope
+        checkpoint) or none of it (crash before)."""
+        g = linear_graph(Emit(name="src"), StatefulCounter(name="counter", instances=2))
+        injector = CrashInjector({"counter.0": 5})
+        result = _run(
+            g, _items(keys=4, per_key=8), checkpoint_interval=2,
+            batch_size=3, crash_injector=injector,
+        )
+        assert sorted(result.output("counter")) == [(f"k{i}", 8) for i in range(4)]
+        assert result.counters["crashes"] == 1
+        assert result.counters["restores"] >= 1
+
     def test_crash_budget_exhausted_aborts(self):
         """An instance that dies on every respawn must fail the run, not
         loop forever."""

@@ -4,7 +4,18 @@ import threading
 
 import pytest
 
-from repro.runtime.queues import POISON_PILL, CloseableQueue, Empty, TrackedQueue
+from repro.runtime.queues import (
+    POISON_PILL,
+    Batch,
+    BatchingBuffer,
+    CloseableQueue,
+    Empty,
+    TrackedQueue,
+    as_envelope,
+    batch_items,
+    batch_len,
+    chunked,
+)
 
 
 class TestCloseableQueue:
@@ -57,6 +68,189 @@ class TestCloseableQueue:
         assert q.empty()
         q.put("x")
         assert q.qsize() == 1 and not q.empty()
+
+
+class TestBatchEnvelope:
+    def test_iteration_and_len(self):
+        batch = Batch([1, 2, 3])
+        assert len(batch) == 3
+        assert list(batch) == [1, 2, 3]
+
+    def test_batch_items_unwraps(self):
+        assert batch_items(Batch(["a", "b"])) == ["a", "b"]
+        assert batch_items("bare") == ["bare"]
+
+    def test_batch_len(self):
+        assert batch_len(Batch([1, 2])) == 2
+        assert batch_len(("pe", "port", 1)) == 1
+
+    def test_as_envelope_single_is_bare(self):
+        """One tuple travels unwrapped -- the batch_size=1 identity."""
+        assert as_envelope(["only"]) == "only"
+        assert isinstance(as_envelope([1, 2]), Batch)
+
+    def test_chunked(self):
+        assert list(chunked([1, 2, 3, 4, 5], 2)) == [[1, 2], [3, 4], [5]]
+        assert list(chunked([], 3)) == []
+        with pytest.raises(ValueError):
+            list(chunked([1], 0))
+
+
+class TestBatchingBuffer:
+    def test_size_triggered_flush(self):
+        out = []
+        buf = BatchingBuffer(out.append, batch_size=3)
+        assert not buf.add("a")
+        assert not buf.add("b")
+        assert buf.add("c")  # third tuple fills the envelope
+        assert len(out) == 1 and isinstance(out[0], Batch)
+        assert list(out[0]) == ["a", "b", "c"]
+        assert buf.pending == 0
+
+    def test_passthrough_at_size_one(self):
+        """batch_size=1 forwards bare items immediately -- no envelope."""
+        out = []
+        buf = BatchingBuffer(out.append, batch_size=1)
+        assert buf.add("x")
+        assert out == ["x"]
+
+    def test_flush_single_item_is_bare(self):
+        out = []
+        buf = BatchingBuffer(out.append, batch_size=4)
+        buf.add("solo")
+        assert buf.flush()
+        assert out == ["solo"]  # no Batch wrapper for one tuple
+
+    def test_flush_empty_is_noop(self):
+        out = []
+        buf = BatchingBuffer(out.append, batch_size=4)
+        assert not buf.flush()
+        assert out == []
+
+    def test_linger_triggered_flush(self):
+        """The oldest buffered tuple waits at most ``linger`` seconds."""
+        out = []
+        clock = [0.0]
+        buf = BatchingBuffer(out.append, batch_size=10, linger=0.5, now=lambda: clock[0])
+        buf.add("a")
+        clock[0] = 0.2
+        assert not buf.poll()
+        clock[0] = 0.6  # past the deadline: next add (or poll) flushes
+        assert buf.add("b")
+        assert len(out) == 1 and list(out[0]) == ["a", "b"]
+
+    def test_poll_flushes_expired_tail(self):
+        out = []
+        clock = [0.0]
+        buf = BatchingBuffer(out.append, batch_size=10, linger=0.5, now=lambda: clock[0])
+        buf.add("tail")
+        clock[0] = 1.0
+        assert buf.poll()
+        assert out == ["tail"]
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            BatchingBuffer(lambda item: None, batch_size=0)
+        with pytest.raises(ValueError):
+            BatchingBuffer(lambda item: None, batch_size=2, linger=-1.0)
+
+
+class TestCloseFlushesBuffers:
+    def test_close_flushes_linger_buffered_tail(self):
+        """Regression: a linger-buffered tail tuple must never be dropped
+        at shutdown -- close() flushes attached buffers *before* the pills,
+        so per-queue FIFO puts the data ahead of end-of-stream."""
+        q = CloseableQueue()
+        buf = q.buffer(batch_size=8, linger=60.0)
+        buf.add("tail-tuple")  # would linger for a minute
+        q.close(consumers=1)
+        assert q.get() == "tail-tuple"
+        assert q.get() is POISON_PILL
+
+    def test_close_flushes_multiple_buffers(self):
+        q = CloseableQueue()
+        first, second = q.buffer(batch_size=4), q.buffer(batch_size=4)
+        first.add("a")
+        second.add("b")
+        second.add("c")
+        q.close(consumers=2)
+        items = [q.get() for _ in range(4)]
+        assert items[0] == "a"
+        assert list(items[1]) == ["b", "c"]
+        assert items[2] is POISON_PILL and items[3] is POISON_PILL
+
+    def test_reclose_does_not_reflush(self):
+        """Close is idempotent for buffers too: a tuple added after the
+        first close stays buffered rather than leaking past the pills."""
+        q = CloseableQueue()
+        buf = q.buffer(batch_size=8)
+        buf.add("early")
+        q.close(consumers=1)
+        buf.add("late")
+        q.close(consumers=1)
+        assert q.get() == "early"
+        assert q.get() is POISON_PILL
+        assert q.empty()
+        assert buf.pending == 1
+
+    def test_external_buffer_attachable(self):
+        q = CloseableQueue()
+        buf = BatchingBuffer(q, batch_size=8)  # queue sink auto-attaches
+        buf.add("x")
+        q.close()
+        assert q.get() == "x"
+
+
+class TestTrackedQueueBatches:
+    def test_batch_put_counts_tuples(self):
+        q = TrackedQueue()
+        q.put(Batch([("t", None, 1), ("t", None, 2), ("t", None, 3)]))
+        assert q.outstanding == 3
+        assert q.total_put == 3
+        assert q.qsize() == 1  # one envelope on the wire
+
+    def test_pending_tasks_gauge_counts_tuples(self):
+        """The auto-scaler's backlog signal: tuples enqueued, not items --
+        and unlike qsize, pills do not inflate it."""
+        q = TrackedQueue()
+        q.put(Batch([1, 2, 3]))
+        q.put("bare")
+        q.put_pill()
+        assert q.qsize() == 3
+        assert q.pending_tasks == 4
+        q.get()  # the envelope leaves the wire, its tasks stay outstanding
+        assert q.pending_tasks == 1
+        assert q.outstanding == 4
+
+    def test_batch_drains_per_tuple(self):
+        q = TrackedQueue()
+        q.put(Batch([1, 2]))
+        item = q.get()
+        assert q.total_got == 2
+        for _ in batch_items(item):
+            q.mark_done()
+        assert q.is_drained()
+
+    def test_batch_settled_as_unit(self):
+        q = TrackedQueue()
+        q.put(Batch([1, 2, 3]))
+        q.get()
+        q.mark_done(3)
+        assert q.is_drained()
+
+    def test_mark_done_overdraw_raises(self):
+        q = TrackedQueue()
+        q.put(Batch([1, 2]))
+        q.get()
+        with pytest.raises(RuntimeError):
+            q.mark_done(3)
+
+    def test_mark_done_rejects_nonpositive(self):
+        q = TrackedQueue()
+        q.put("x")
+        q.get()
+        with pytest.raises(ValueError):
+            q.mark_done(0)
 
 
 class TestTrackedQueueAccounting:

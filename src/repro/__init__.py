@@ -42,6 +42,7 @@ from repro.core import (
     Chain,
     ConsumerPE,
     FunctionPE,
+    FusedPE,
     GenericPE,
     GroupBy,
     Grouping,
@@ -51,6 +52,7 @@ from repro.core import (
     ProducerPE,
     Shuffle,
     WorkflowGraph,
+    fuse_graph,
 )
 from repro.engine import Engine, RunConfig
 from repro.mappings import (
@@ -113,6 +115,7 @@ __all__ = [
     "CrashInjector",
     "Engine",
     "FunctionPE",
+    "FusedPE",
     "GenericPE",
     "GroupBy",
     "Grouping",
@@ -135,6 +138,7 @@ __all__ = [
     "WorkflowGraph",
     "__version__",
     "capability_table",
+    "fuse_graph",
     "get_mapping",
     "get_platform",
     "mapping_names",

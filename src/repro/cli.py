@@ -55,6 +55,10 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Stream-based workflow engine with auto-scaling and "
         "stateful hybrid mappings (WORKS 2023 reproduction).",
+        epilog="Transport levers: --batch-size amortizes per-tuple queue/"
+        "stream costs; --fuse removes hops entirely by collapsing 1:1 PE "
+        "chains into in-process fused operators (see README, 'Operator "
+        "fusion').",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -98,6 +102,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="max real milliseconds a buffered tuple may wait for batch "
         "companions on buffered port-to-port transport (0 = no linger)",
     )
+    run_p.add_argument(
+        "--fuse",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="collapse fusable 1:1 PE chains into in-process fused "
+        "operators before enactment (--no-fuse, the default, runs the "
+        "graph as written)",
+    )
 
     bench_p = sub.add_parser("bench", help="regenerate one paper figure/table")
     bench_p.add_argument("experiment", choices=list_experiments())
@@ -118,6 +130,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         batch_size=args.batch_size,
         batch_linger_ms=args.batch_linger_ms,
+        fuse=args.fuse,
         checkpoint_interval=args.checkpoint_interval,
     )
     if args.mapping == "auto":
@@ -130,6 +143,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"runtime      = {result.runtime:.3f} s (real, time_scale={args.time_scale})")
     print(f"process time = {result.process_time:.3f} s")
     print(f"outputs      = {result.total_outputs()} data units")
+    fused_chains = result.counters.get("fused_chains", 0)
+    if fused_chains:
+        print(
+            f"fusion       = {fused_chains} chain(s), "
+            f"{result.counters.get('fused_members', 0)} PEs collapsed"
+        )
     for key, values in sorted(result.outputs.items()):
         print(f"  {key}: {len(values)} items")
     if result.trace is not None:
@@ -167,28 +186,39 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+#: ``repro list`` capability columns: header -> cell renderer.
+_CAPABILITY_COLUMNS = (
+    ("name", lambda name, caps: name),
+    ("stateful", lambda name, caps: "yes" if caps.stateful else "no"),
+    ("redis", lambda name, caps: "yes" if caps.requires_redis else "no"),
+    ("autoscale", lambda name, caps: "yes" if caps.autoscaling else "no"),
+    ("dynamic", lambda name, caps: "yes" if caps.dynamic else "no"),
+    ("recover", lambda name, caps: "yes" if caps.recoverable else "no"),
+    ("batch", lambda name, caps: "yes" if caps.batching else "no"),
+    ("fuse", lambda name, caps: "yes" if caps.fusion else "no"),
+)
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     print("workflows  :", ", ".join(sorted(_WORKFLOWS)))
     print("experiments:", ", ".join(list_experiments()))
     print("mappings   :")
-    header = (
-        f"  {'name':<16} {'stateful':<9} {'redis':<6} {'autoscale':<10} "
-        f"{'dynamic':<8} {'recover':<8} {'batch':<6} description"
-    )
-    print(header)
-    for name, caps in capability_table():
-        flags = (
-            "yes" if caps.stateful else "no",
-            "yes" if caps.requires_redis else "no",
-            "yes" if caps.autoscaling else "no",
-            "yes" if caps.dynamic else "no",
-            "yes" if caps.recoverable else "no",
-            "yes" if caps.batching else "no",
-        )
-        print(
-            f"  {name:<16} {flags[0]:<9} {flags[1]:<6} {flags[2]:<10} "
-            f"{flags[3]:<8} {flags[4]:<8} {flags[5]:<6} {caps.description}"
-        )
+    rows = capability_table()
+    # Column widths come from the registry's actual contents (longest
+    # registered name / cell, headers included), so out-of-tree backends
+    # with long names can never shear the table.
+    widths = [
+        max(len(header), *(len(render(name, caps)) for name, caps in rows))
+        for header, render in _CAPABILITY_COLUMNS
+    ]
+    cells = [header.ljust(width) for (header, _), width in zip(_CAPABILITY_COLUMNS, widths)]
+    print("  " + " ".join(cells) + " description")
+    for name, caps in rows:
+        cells = [
+            render(name, caps).ljust(width)
+            for (_, render), width in zip(_CAPABILITY_COLUMNS, widths)
+        ]
+        print("  " + " ".join(cells) + " " + caps.description)
     return 0
 
 

@@ -20,6 +20,13 @@ from repro.core.exceptions import (
     ValidationError,
 )
 from repro.core.fluent import Chain, InPort, OutPort, Pipeline, coerce_graph
+from repro.core.fusion import (
+    FusedPE,
+    FusionPlan,
+    MemberMeter,
+    find_fusable_chains,
+    fuse_graph,
+)
 from repro.core.graph import Edge, WorkflowGraph
 from repro.core.groupings import AllToOne, GroupBy, Grouping, OneToAll, Shuffle, as_grouping
 from repro.core.partition import allocate_instances
@@ -41,6 +48,8 @@ __all__ = [
     "EdgeRouter",
     "ExecutionContext",
     "FunctionPE",
+    "FusedPE",
+    "FusionPlan",
     "GenericPE",
     "GraphError",
     "GroupBy",
@@ -49,6 +58,7 @@ __all__ = [
     "InsufficientProcessesError",
     "IterativePE",
     "MappingError",
+    "MemberMeter",
     "OneToAll",
     "OutPort",
     "Pipeline",
@@ -58,6 +68,8 @@ __all__ = [
     "UnsupportedFeatureError",
     "ValidationError",
     "WorkflowGraph",
+    "find_fusable_chains",
+    "fuse_graph",
     "allocate_instances",
     "as_grouping",
     "coerce_graph",

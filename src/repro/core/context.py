@@ -50,6 +50,11 @@ class ExecutionContext:
         self.cores = cores if cores is not None else CoreLimiter(None)
         self.seed = seed
         self.cpu_speed = cpu_speed
+        #: Optional per-PE time/invocation accumulator (a
+        #: :class:`repro.core.fusion.MemberMeter`), installed by the
+        #: enactment when operator fusion is active so fused members keep
+        #: attributing their runtime to their own names.
+        self.pe_meter = None
 
     def rng_for(self, instance_id: str) -> np.random.Generator:
         """Deterministic per-instance random generator."""

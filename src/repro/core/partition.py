@@ -20,17 +20,18 @@ from repro.core.graph import WorkflowGraph
 
 
 def minimum_processes(graph: WorkflowGraph) -> int:
-    """Smallest process count the static allocation can work with."""
-    total = 0
-    roots = {pe.name for pe in graph.roots()}
-    for name, pe in graph.pes.items():
-        if pe.numprocesses is not None:
-            total += pe.numprocesses
-        elif name in roots:
-            total += 1
-        else:
-            total += 1
-    return total
+    """Smallest process count the static allocation can work with.
+
+    Every unpinned PE needs at least one instance (sources are capped at
+    exactly one by :func:`allocate_instances`, which does not change the
+    floor); pinned PEs need their requested count.  Operator fusion
+    (:mod:`repro.core.fusion`) lowers this floor by collapsing chains into
+    single PEs before allocation.
+    """
+    return sum(
+        pe.numprocesses if pe.numprocesses is not None else 1
+        for pe in graph.pes.values()
+    )
 
 
 def allocate_instances(

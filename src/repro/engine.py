@@ -96,6 +96,15 @@ class RunConfig:
         ``multi`` mapping); ``0`` disables the linger trigger.  Dynamic
         mappings batch within one invocation/fetch and never hold tuples
         back, so linger does not apply to them.
+    fuse:
+        Operator fusion (:mod:`repro.core.fusion`): collapse fusable 1:1
+        PE chains into in-process ``FusedPE`` operators before enactment,
+        removing the queue hop (and, on Redis mappings, the round trip
+        and pickle) between chained PEs.  ``False`` (default) leaves the
+        graph untouched -- byte-identical to the pre-fusion engine.
+        ``True`` requires a mapping declaring ``Capabilities.fusion`` and
+        fails otherwise; ``"auto"`` fuses where the mapping supports it
+        and silently skips where it does not.
     checkpoint_interval:
         Deliveries between state checkpoints of pinned stateful instances
         (recoverable mappings only).  Setting it enables checkpoint/restore
@@ -119,6 +128,7 @@ class RunConfig:
     prefer: Union[str, Sequence[str], None] = None
     batch_size: int = 1
     batch_linger_ms: float = 0.0
+    fuse: Union[bool, str] = False
     checkpoint_interval: Optional[int] = None
     state_store: Optional[Any] = None
     options: Dict[str, Any] = field(default_factory=dict)
@@ -146,6 +156,19 @@ class RunConfig:
             opts["batch_linger_ms"] = self.batch_linger_ms
         return opts
 
+    def fusion_options(self) -> Dict[str, Any]:
+        """The operator-fusion setting as a mapping option (if enabled).
+
+        ``fuse=False`` stays absent, like the other transport defaults, so
+        a default-configured engine hands mappings exactly the options it
+        did before fusion existed.
+        """
+        if self.fuse is False:
+            return {}
+        if self.fuse not in (True, "auto"):
+            raise TypeError(f"fuse must be True, False or 'auto', got {self.fuse!r}")
+        return {"fuse": self.fuse}
+
     def resolved_platform(self) -> PlatformProfile:
         if isinstance(self.platform, PlatformProfile):
             return self.platform
@@ -169,6 +192,7 @@ class Engine:
         prefer: Union[str, Sequence[str], None] = None,
         batch_size: int = 1,
         batch_linger_ms: float = 0.0,
+        fuse: Union[bool, str] = False,
         checkpoint_interval: Optional[int] = None,
         state_store: Optional[Any] = None,
         options: Optional[Dict[str, Any]] = None,
@@ -186,6 +210,7 @@ class Engine:
             prefer=prefer,
             batch_size=batch_size,
             batch_linger_ms=batch_linger_ms,
+            fuse=fuse,
             checkpoint_interval=checkpoint_interval,
             state_store=state_store,
             options=merged_options,
@@ -266,9 +291,30 @@ class Engine:
         merged = {
             **self.config.recovery_options(),
             **self.config.transport_options(),
+            **self.config.fusion_options(),
             **self.config.options,
             **options,
         }
+        fuse_request = merged.get("fuse", False)
+        if fuse_request not in (False, True, "auto"):
+            raise TypeError(
+                f"fuse must be True, False or 'auto', got {fuse_request!r}"
+            )
+        if fuse_request:
+            # Same contract as batching below: a mapping that bypasses the
+            # shared enactment path would silently run unfused while the
+            # user believes chains were collapsed.  "auto" is the soft
+            # request -- fuse where supported, skip where not.
+            caps = get_capabilities(name)
+            if not caps.fusion:
+                if fuse_request == "auto":
+                    merged.pop("fuse")
+                else:
+                    raise UnsupportedFeatureError(
+                        f"operator fusion requested (fuse=True) but mapping "
+                        f"{name!r} does not support fusion; pick a fusing "
+                        f"mapping, use fuse='auto', or drop the option"
+                    )
         if merged.get("batch_size", 1) != 1 or merged.get("batch_linger_ms", 0):
             # Same contract as the recovery gate below: a mapping that
             # ignores the transport knobs would silently run unbatched

@@ -10,6 +10,9 @@ base class owns everything common to all six mappings:
 - construction of the run-wide :class:`~repro.core.context.ExecutionContext`
   (clock, emulated cores, seeds),
 - input normalization (how source PEs are driven),
+- the operator-fusion rewrite (``fuse`` option): fusable 1:1 chains are
+  collapsed into :class:`~repro.core.fusion.FusedPE` operators before
+  enactment, so every mapping executes fused graphs transparently,
 - output collection (emissions on unconnected ports become results),
 - metric capture (runtime + total process time via the activity meter).
 """
@@ -25,6 +28,7 @@ from repro.autoscale.trace import ScalingTrace
 from repro.core.concrete import ConcreteWorkflow, Delivery, instance_id
 from repro.core.context import ExecutionContext
 from repro.core.exceptions import MappingError, UnsupportedFeatureError
+from repro.core.fusion import MemberMeter, fuse_graph
 from repro.core.graph import WorkflowGraph
 from repro.core.pe import GenericPE
 from repro.metrics.result import RunResult
@@ -203,11 +207,21 @@ def dispatch_emissions(
     index: int,
     emissions: List[Tuple[str, Any]],
 ) -> List[Delivery]:
-    """Route one invocation's emissions; collect unconnected-port output."""
+    """Route one invocation's emissions; collect unconnected-port output.
+
+    A PE may declare ``collector_aliases`` (fused port -> original
+    ``(pe, port)`` pair, see :class:`repro.core.fusion.FusedPE`): emissions
+    on an unconnected aliased port are credited to the original results
+    key, so a fused run reports the same output keys as an unfused one.
+    """
     deliveries: List[Delivery] = []
+    aliases = getattr(concrete.graph.pes.get(pe_name), "collector_aliases", None)
     for port, data in emissions:
         if concrete.graph.out_edges(pe_name, port):
             deliveries.extend(concrete.route_output(pe_name, index, port, data))
+        elif aliases and port in aliases:
+            original_pe, original_port = aliases[port]
+            collector.add(original_pe, original_port, data)
         else:
             collector.add(pe_name, port, data)
     return deliveries
@@ -298,6 +312,8 @@ class Mapping:
         """
         if processes < 1:
             raise MappingError(f"processes must be >= 1, got {processes}")
+        options = dict(options)
+        fuse_option = options.pop("fuse", False)
         graph.validate()
         if graph.is_stateful() and not self.supports_stateful:
             raise UnsupportedFeatureError(
@@ -321,6 +337,20 @@ class Mapping:
         meter = ActivityMeter(clock)
         collector = ResultsCollector()
         counters = Counters()
+        member_meter: Optional[MemberMeter] = None
+        if fuse_option:
+            # Collapse fusable 1:1 chains before enactment: the rewritten
+            # graph is an ordinary WorkflowGraph, so every mapping executes
+            # FusedPEs transparently.  Inputs were normalized against the
+            # user's graph above, then re-keyed onto fused source PEs.
+            plan = fuse_graph(graph)
+            if plan.fused:
+                graph = plan.graph
+                provided = plan.rename_inputs(provided)
+                member_meter = MemberMeter()
+                ctx.pe_meter = member_meter
+                counters.inc("fused_chains", len(plan.chains))
+                counters.inc("fused_members", sum(len(c) for c in plan.chains))
         state = EnactmentState(
             graph=graph,
             provided=provided,
@@ -330,13 +360,18 @@ class Mapping:
             meter=meter,
             collector=collector,
             counters=counters,
-            options=dict(options),
+            options=options,
         )
         started = clock.now()
         trace = self._enact(state)
         runtime = clock.now() - started
         meter.close()
         state.raise_errors()
+        pe_times: Dict[str, float] = {}
+        if member_meter is not None:
+            pe_times = member_meter.times()
+            for member, count in member_meter.tasks().items():
+                counters.inc(f"member_tasks.{member}", count)
         return RunResult(
             mapping=self.name,
             workflow=graph.name,
@@ -347,6 +382,7 @@ class Mapping:
             counters=counters.as_dict(),
             trace=trace,
             per_worker_time=meter.per_worker(),
+            pe_times=pe_times,
         )
 
     def _enact(self, state: EnactmentState) -> Optional[ScalingTrace]:

@@ -64,6 +64,7 @@ from repro.runtime.workers import WorkerPool
         dynamic=True,
         autoscaling=True,
         batching=True,
+        fusion=True,
         description="Dynamic multiprocessing + Algorithm 1 auto-scaling",
     )
 )

@@ -193,6 +193,7 @@ class DynamicWorkforce:
         stateful=False,
         dynamic=True,
         batching=True,
+        fusion=True,
         description="Dynamic scheduling on a global multiprocessing queue",
     )
 )

@@ -101,6 +101,7 @@ from repro.state import (
         requires_redis=True,
         recoverable=True,
         batching=True,
+        fusion=True,
         min_processes=2,
         description="Stateful-aware hybrid: pinned state + dynamic stateless pool",
     )

@@ -48,6 +48,7 @@ _PILL = "pill"
     Capabilities(
         stateful=True,
         batching=True,
+        fusion=True,
         static_allocation=True,
         description="Static Multiprocessing baseline (one process per instance)",
     )

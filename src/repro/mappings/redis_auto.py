@@ -49,6 +49,7 @@ from repro.runtime.workers import WorkerPool
         requires_redis=True,
         recoverable=True,
         batching=True,
+        fusion=True,
         description="Redis dynamic scheduling + idle-time auto-scaling",
     )
 )

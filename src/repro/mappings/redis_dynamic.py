@@ -257,6 +257,7 @@ class RedisWorkforce:
         requires_redis=True,
         recoverable=True,
         batching=True,
+        fusion=True,
         description="Dynamic scheduling on a Redis Stream consumer group",
     )
 )

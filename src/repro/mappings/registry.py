@@ -53,6 +53,14 @@ class Capabilities:
         (micro-batched tuple envelopes on its queues/streams).  Mappings
         without it are rejected by the engine when batching is requested,
         rather than silently running unbatched.
+    fusion:
+        Executes operator-fusion rewrites (the ``fuse`` option): fusable
+        1:1 chains collapse into in-process :class:`repro.core.fusion.
+        FusedPE` operators before enactment.  All built-in mappings
+        support it (the rewrite happens above the mapping); the flag gates
+        third-party backends that bypass the shared enactment path --
+        ``fuse=True`` on such a mapping is rejected rather than silently
+        ignored (``fuse="auto"`` skips it instead).
     static_allocation:
         Uses the static partitioning rule, which imposes a per-graph
         process floor (one process per PE instance).
@@ -68,6 +76,7 @@ class Capabilities:
     dynamic: bool = False
     recoverable: bool = False
     batching: bool = False
+    fusion: bool = False
     static_allocation: bool = False
     min_processes: int = 1
     description: str = ""

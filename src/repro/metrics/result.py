@@ -34,6 +34,11 @@ class RunResult:
         Auto-scaler trace for the auto-scaling mappings (Figure 13).
     per_worker_time:
         Active time per worker id, summing to ``process_time``.
+    pe_times:
+        Per-PE busy time (real seconds) attributed inside fused operators,
+        keyed by the *member* PE name.  Empty unless operator fusion ran:
+        fusion hides queue boundaries, so this is how the per-PE breakdown
+        of a fused run stays comparable with the unfused one.
     """
 
     mapping: str
@@ -45,6 +50,7 @@ class RunResult:
     counters: Dict[str, int] = field(default_factory=dict)
     trace: Optional[ScalingTrace] = None
     per_worker_time: Dict[str, float] = field(default_factory=dict)
+    pe_times: Dict[str, float] = field(default_factory=dict)
 
     def output(self, pe_name: str, port: str = "output") -> List[Any]:
         """Convenience accessor for one sink port's collected data units."""

@@ -89,3 +89,47 @@ class TestPaperWorkflowMinimums:
         allocation, idle = allocate_instances(g, 5)
         assert allocation == {"a": 1, "s": 2}
         assert idle == 2
+
+
+class TestEdgeCases:
+    def test_pins_exactly_equal_processes_zero_leftover(self):
+        """All-pinned graph whose pins sum to num_processes exactly: the
+        else branch (no flexible PEs) with remaining == 0."""
+        g = linear_graph(Emit(name="a"), Double(name="b"), Collect(name="c"))
+        g.pe("a").numprocesses = 1
+        g.pe("b").numprocesses = 4
+        g.pe("c").numprocesses = 3
+        allocation, idle = allocate_instances(g, 8)
+        assert allocation == {"a": 1, "b": 4, "c": 3}
+        assert idle == 0
+
+    def test_single_pe_graph(self):
+        g = linear_graph(Emit(name="only"))
+        assert minimum_processes(g) == 1
+        allocation, idle = allocate_instances(g, 3)
+        assert allocation == {"only": 1}
+        assert idle == 2
+
+    def test_insufficient_error_names_workflow_and_counts(self):
+        """The error message carries the workflow name, its floor and the
+        offered count -- what a user needs to fix the call."""
+        g = linear_graph(Emit(name="a"), Emit(name="b"), Emit(name="c"), name="tight")
+        with pytest.raises(
+            InsufficientProcessesError,
+            match=r"'tight' needs at least 3 processes, got 2",
+        ):
+            allocate_instances(g, 2)
+
+    def test_insufficient_error_all_pinned_names_floor(self):
+        g = linear_graph(Emit(name="a"), StatefulCounter(name="s", instances=4), name="pinned")
+        g.pe("a").numprocesses = 2
+        with pytest.raises(
+            InsufficientProcessesError,
+            match=r"'pinned' needs at least 6 processes, got 5",
+        ):
+            allocate_instances(g, 5)
+
+    def test_minimum_counts_each_unpinned_pe_once(self):
+        g = linear_graph(Emit(name="a"), Double(name="b"), Collect(name="c"))
+        g.pe("b").numprocesses = 7
+        assert minimum_processes(g) == 9

@@ -265,6 +265,75 @@ class TestSentimentRecovery:
         assert recovered.output("top3Happiest") == baseline.output("top3Happiest")
 
 
+class TestFusedChainRecovery:
+    """Crash recovery of *fused* stateful chains: a single-instance chain
+    collapses into one FusedPE whose composite state checkpoints as a
+    unit, and recovery replays at fusion granularity."""
+
+    FUSED = "fused(src+counter)"
+
+    def _graph(self):
+        return linear_graph(
+            Emit(name="src"), StatefulCounter(name="counter", instances=1)
+        )
+
+    def test_fused_checkpointing_without_crashes(self):
+        result = _run(self._graph(), _items(), processes=3, fuse=True,
+                      checkpoint_interval=3)
+        assert sorted(result.output("counter")) == [(f"k{i}", 6) for i in range(4)]
+        assert result.counters["fused_chains"] == 1
+        assert result.counters["checkpoints"] >= 1
+
+    def test_fused_crash_identical_results(self):
+        injector = CrashInjector({f"{self.FUSED}.0": 4})
+        result = _run(
+            self._graph(), _items(), processes=3, fuse=True,
+            checkpoint_interval=3, crash_injector=injector,
+        )
+        assert sorted(result.output("counter")) == [(f"k{i}", 6) for i in range(4)]
+        assert result.counters["crashes"] == 1
+        assert result.counters["respawns"] == 1
+        assert result.counters["restores"] >= 1
+
+    def test_fused_crash_before_first_checkpoint(self):
+        injector = CrashInjector({f"{self.FUSED}.0": 1})
+        result = _run(
+            self._graph(), _items(), processes=3, fuse=True,
+            checkpoint_interval=100, crash_injector=injector,
+        )
+        assert sorted(result.output("counter")) == [(f"k{i}", 6) for i in range(4)]
+        assert result.counters["crashes"] == 1
+        assert result.counters.get("replayed", 0) >= 1
+
+    def test_fused_crash_mid_batch_identical_results(self):
+        """Fusion composes with batched private-queue envelopes: one
+        envelope is one sequence number even when each delivery now drives
+        the whole member chain."""
+        injector = CrashInjector({f"{self.FUSED}.0": 6})
+        result = _run(
+            self._graph(), _items(keys=4, per_key=8), processes=3, fuse=True,
+            checkpoint_interval=5, batch_size=4, crash_injector=injector,
+        )
+        assert sorted(result.output("counter")) == [(f"k{i}", 8) for i in range(4)]
+        assert result.counters["crashes"] == 1
+        assert result.counters["respawns"] == 1
+
+    def test_fused_snapshot_is_composite(self):
+        """The snapshot in the store is the FusedPE's composite state,
+        keyed by the fused instance id."""
+        store = InMemoryStateStore()
+        result = _run(
+            self._graph(), _items(), processes=3, fuse=True,
+            state_store=store, checkpoint_interval=2,
+        )
+        assert result.counters["checkpoints"] >= 1
+        assert store.instance_ids() == [f"{self.FUSED}.0"]
+        snap = store.load(f"{self.FUSED}.0")
+        assert snap.state["members"]["counter"]["counts"] == {
+            f"k{i}": 6 for i in range(4)
+        }
+
+
 class TestCrashInjector:
     def test_point_validated(self):
         with pytest.raises(ValueError):

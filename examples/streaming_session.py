@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Streaming sessions: feed a live workflow, consume results as they come.
+
+A long-lived Engine hosts two consecutive jobs on one warm deployment:
+
+1. the first job is fed in bursts through ``job.send`` while a consumer
+   iterates ``job.results()`` concurrently -- outputs arrive *before* the
+   input is even closed;
+2. the second job reuses the session's worker pool (``deploy_warm``),
+   skipping the spin-up the first one paid (``deploy_cold``).
+
+Run:  python examples/streaming_session.py
+"""
+
+import threading
+
+from repro import Engine, IterativePE, WorkflowGraph
+
+
+class Normalize(IterativePE):
+    """Transform: scale readings into [0, 1] (with a little CPU cost)."""
+
+    def _process(self, data):
+        self.compute(0.005)
+        return min(abs(data) / 100.0, 1.0)
+
+
+class Threshold(IterativePE):
+    """Filter: only readings above the alert threshold pass through."""
+
+    def _process(self, data):
+        if data >= 0.5:
+            return round(data, 3)
+        return None
+
+
+def build_graph(name: str) -> WorkflowGraph:
+    chain = Normalize(name="normalize") >> Threshold(name="alerts")
+    return WorkflowGraph.from_chain(chain, name=name)
+
+
+def main() -> None:
+    engine = Engine(mapping="dyn_auto_multi", processes=4, time_scale=0.05)
+
+    # ---- job 1: live ingestion, streaming consumption -------------------
+    job = engine.submit(build_graph("telemetry"))
+    print(f"submitted: {job} (live streaming = {job.streaming})")
+
+    def feed() -> None:
+        for burst in ([12, 87, 64], [3, 55, 91], [49, 72]):
+            job.send("normalize", burst)
+        job.close_input()
+
+    feeder = threading.Thread(target=feed)
+    feeder.start()
+    alerts = []
+    for key, value in job.results():  # yields while the job is running
+        alerts.append(value)
+        print(f"  alert while {job.state.value}: {key} = {value}")
+    feeder.join()
+    first = job.wait()
+    print(
+        f"job 1 done: {len(alerts)} alerts from "
+        f"{first.counters['stream_inputs']} readings "
+        f"(deployment was cold: {first.counters.get('deploy_cold', 0) == 1})"
+    )
+
+    # ---- job 2: same session, warm deployment ---------------------------
+    second = engine.submit(build_graph("telemetry-2"), inputs=[66, 20, 95]).wait()
+    print(
+        f"job 2 done: {second.total_outputs()} alerts "
+        f"(reused warm deployment: {second.counters.get('deploy_warm', 0) == 1})"
+    )
+    engine.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -33,6 +33,11 @@ ports, ``pe.out("a") >> other.in_("b")`` wires named ports, and
 ``>> GroupBy("key") >>`` attaches a grouping inline; see
 :mod:`repro.core.fluent`.  The classic ``WorkflowGraph.connect`` string
 API and the module-level :func:`run` shim keep working unchanged.
+
+Long-lived callers stream instead of batching: ``engine.submit(graph)``
+returns a :class:`Job` whose ``send``/``results``/``wait`` ingest and
+consume incrementally while the engine keeps the deployment warm across
+submissions (see README, "Streaming sessions").
 """
 
 from typing import Any
@@ -55,6 +60,7 @@ from repro.core import (
     fuse_graph,
 )
 from repro.engine import Engine, RunConfig
+from repro.jobs import Job, JobCancelledError, JobState
 from repro.mappings import (
     Capabilities,
     TerminationPolicy,
@@ -74,7 +80,7 @@ from repro.state import (
     StateStore,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 
 def run(
@@ -122,6 +128,9 @@ __all__ = [
     "HPC",
     "InMemoryStateStore",
     "IterativePE",
+    "Job",
+    "JobCancelledError",
+    "JobState",
     "LAPTOP",
     "OneToAll",
     "Pipeline",

@@ -17,6 +17,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -58,7 +59,8 @@ def _build_parser() -> argparse.ArgumentParser:
         epilog="Transport levers: --batch-size amortizes per-tuple queue/"
         "stream costs; --fuse removes hops entirely by collapsing 1:1 PE "
         "chains into in-process fused operators (see README, 'Operator "
-        "fusion').",
+        "fusion'); --stream consumes results as they are produced through "
+        "the streaming Job API (see README, 'Streaming sessions').",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -110,6 +112,20 @@ def _build_parser() -> argparse.ArgumentParser:
         "operators before enactment (--no-fuse, the default, runs the "
         "graph as written)",
     )
+    output_mode = run_p.add_mutually_exclusive_group()
+    output_mode.add_argument(
+        "--stream",
+        action="store_true",
+        help="submit as a streaming job and print results as they arrive "
+        "(live ingestion on mappings with the 'stream' capability, "
+        "buffered elsewhere)",
+    )
+    output_mode.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable JSON run summary (mapping, timings, "
+        "counters, output sizes) instead of the human-readable report",
+    )
 
     bench_p = sub.add_parser("bench", help="regenerate one paper figure/table")
     bench_p.add_argument("experiment", choices=list_experiments())
@@ -133,9 +149,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
         fuse=args.fuse,
         checkpoint_interval=args.checkpoint_interval,
     )
+    if args.json:
+        # Machine-readable mode: the summary is the only stdout output.
+        result = engine.run(graph, inputs=inputs)
+        print(json.dumps(result.summary(), indent=2, sort_keys=True))
+        return 0
     if args.mapping == "auto":
         print(f"auto-selected mapping: {engine.resolve_mapping(graph)}")
-    result = engine.run(graph, inputs=inputs)
+    if args.stream:
+        job = engine.submit(graph, inputs=inputs)
+        job.close_input()
+        streamed = 0
+        for key, value in job.results():
+            streamed += 1
+            print(f"  -> {key}: {value!r}")
+        result = job.wait()
+        print(
+            f"streamed     = {streamed} data units as they arrived "
+            f"({'live' if job.streaming else 'buffered'} ingestion)"
+        )
+        engine.close()
+    else:
+        result = engine.run(graph, inputs=inputs)
     print(
         f"workflow={result.workflow} mapping={result.mapping} "
         f"processes={result.processes}"
@@ -196,6 +231,7 @@ _CAPABILITY_COLUMNS = (
     ("recover", lambda name, caps: "yes" if caps.recoverable else "no"),
     ("batch", lambda name, caps: "yes" if caps.batching else "no"),
     ("fuse", lambda name, caps: "yes" if caps.fusion else "no"),
+    ("stream", lambda name, caps: "yes" if caps.streaming else "no"),
 )
 
 

@@ -18,6 +18,18 @@ workflows, a dynamic auto-scaling mapping otherwise.  Engines accept
 and fluent chains alike, support the context-manager protocol, and keep a
 cache of instantiated mapping engines across runs.
 
+Streaming sessions
+------------------
+:meth:`Engine.submit` starts enactment immediately and returns a
+:class:`~repro.jobs.Job` handle: ``job.send(...)`` pushes tuples into the
+live workflow, ``job.results()`` yields outputs as they are produced, and
+``job.wait()`` preserves the one-shot contract.  Each engine keeps one
+*session* per mapping -- a warm :class:`~repro.mappings.base.Deployment`
+(worker pool, redisim server) reused by consecutive submissions so only
+the first pays the spin-up (``deploy_cold`` vs ``deploy_warm`` counters).
+:meth:`Engine.run` is a ``submit().wait()`` shim over an ephemeral cold
+deployment, byte-identical to the pre-session engine.
+
 :class:`RunConfig` is the frozen record of the engine's settings --
 build one explicitly (``Engine.from_config``) when configurations are
 stored or passed around.
@@ -25,13 +37,15 @@ stored or passed around.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field, fields, replace
-from typing import Any, Dict, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.core.exceptions import UnsupportedFeatureError
 from repro.core.fluent import coerce_graph
 from repro.core.graph import WorkflowGraph
-from repro.mappings.base import InputSpec, Mapping
+from repro.jobs import Job, JobState
+from repro.mappings.base import Deployment, InputSpec, Mapping
 from repro.mappings.registry import get_capabilities, get_mapping, select_mapping
 from repro.metrics.result import RunResult
 from repro.platforms.profiles import LAPTOP, PlatformProfile, get_platform
@@ -175,6 +189,21 @@ class RunConfig:
         return get_platform(self.platform)
 
 
+class _Session:
+    """One mapping's warm-deployment slot within an engine.
+
+    The deployment is exclusive while a job runs on it (overlapping
+    submissions fall back to ephemeral cold deployments -- warmth is a
+    sequential-reuse optimization, never a correctness dependency).
+    """
+
+    __slots__ = ("deployment", "busy")
+
+    def __init__(self) -> None:
+        self.deployment: Optional[Deployment] = None
+        self.busy = False
+
+
 class Engine:
     """Reusable enactment facade over the mapping registry.
 
@@ -219,6 +248,9 @@ class Engine:
         self._platform = self.config.resolved_platform()
         self._engines: Dict[str, Mapping] = {}
         self._closed = False
+        self._lock = threading.Lock()
+        self._sessions: Dict[str, _Session] = {}
+        self._jobs: List[Job] = []
 
     @classmethod
     def from_config(cls, config: RunConfig) -> "Engine":
@@ -228,6 +260,9 @@ class Engine:
         engine._platform = config.resolved_platform()
         engine._engines = {}
         engine._closed = False
+        engine._lock = threading.Lock()
+        engine._sessions = {}
+        engine._jobs = []
         return engine
 
     # ----------------------------------------------------------- resolution
@@ -235,10 +270,16 @@ class Engine:
     def platform(self) -> PlatformProfile:
         return self._platform
 
+    def _ensure_open(self) -> None:
+        """Every facade entry point refuses a closed engine, consistently."""
+        if self._closed:
+            raise RuntimeError("Engine is closed; create a new one")
+
     def resolve_mapping(
         self, graph: Any, processes: Optional[int] = None
     ) -> str:
         """The mapping name a run of ``graph`` would use (selection only)."""
+        self._ensure_open()
         return self._resolve(
             coerce_graph(graph),
             self.config.mapping,
@@ -279,9 +320,63 @@ class Engine:
 
         Engine-level settings apply unless overridden per run; ``options``
         merge over (and win against) the engine's configured options.
+
+        A ``submit().wait()`` shim: the job runs on an ephemeral cold
+        deployment (no session reuse, no extra counters), so one-shot runs
+        stay byte-identical to the pre-session engine.  Long-lived callers
+        ingesting or consuming incrementally use :meth:`submit`.
         """
-        if self._closed:
-            raise RuntimeError("Engine is closed; create a new one")
+        job = self._submit(
+            workflow, inputs, processes=processes, seed=seed, mapping=mapping,
+            time_scale=time_scale, deadline=None, warm=False, options=options,
+        )
+        return job.wait()
+
+    def submit(
+        self,
+        workflow: Union[WorkflowGraph, Any],
+        inputs: InputSpec = None,
+        *,
+        processes: Optional[int] = None,
+        seed: Optional[int] = None,
+        mapping: Optional[str] = None,
+        time_scale: Optional[float] = None,
+        deadline: Optional[float] = None,
+        **options: Any,
+    ) -> Job:
+        """Start enacting a workflow and return its :class:`~repro.jobs.Job`.
+
+        Enactment begins immediately on the mapping's session deployment:
+        the first submission deploys cold (spinning up the worker pool /
+        redisim server), consecutive ones reuse it warm.  Initial
+        ``inputs`` are optional -- on streaming mappings
+        (``Capabilities.streaming``) they are consumed lazily into the
+        running workflow and ``job.send(...)`` adds more until
+        ``job.close_input()``; other mappings buffer ingestion and enact
+        when the input closes.  ``deadline`` (real seconds) cancels the
+        job when exceeded.  Overlapping submissions on one mapping fall
+        back to ephemeral cold deployments (a session's warmth is
+        exclusive to one job at a time).
+        """
+        return self._submit(
+            workflow, inputs, processes=processes, seed=seed, mapping=mapping,
+            time_scale=time_scale, deadline=deadline, warm=True, options=options,
+        )
+
+    def _submit(
+        self,
+        workflow: Union[WorkflowGraph, Any],
+        inputs: InputSpec,
+        processes: Optional[int],
+        seed: Optional[int],
+        mapping: Optional[str],
+        time_scale: Optional[float],
+        deadline: Optional[float],
+        warm: bool,
+        options: Dict[str, Any],
+    ) -> Job:
+        """Shared resolution/gating behind :meth:`run` and :meth:`submit`."""
+        self._ensure_open()
         _check_option_typos(options)
         graph = coerce_graph(workflow)
         procs = processes if processes is not None else self.config.processes
@@ -340,22 +435,114 @@ class Engine:
                     f"stateful checkpointing; use hybrid_redis or drop the "
                     f"recovery options"
                 )
-        return self._engine_for(name).execute(
-            graph,
-            inputs=inputs,
-            processes=procs,
-            platform=self._platform,
-            time_scale=time_scale if time_scale is not None else self.config.time_scale,
-            seed=seed if seed is not None else self.config.seed,
-            **merged,
-        )
+        engine = self._engine_for(name)
+        deployment = self._lease(name, engine, procs) if warm else None
+        try:
+            job = engine.submit(
+                graph,
+                inputs=inputs,
+                processes=procs,
+                platform=self._platform,
+                time_scale=time_scale if time_scale is not None else self.config.time_scale,
+                seed=seed if seed is not None else self.config.seed,
+                deployment=deployment,
+                deadline=deadline,
+                # run() forces the buffered wiring: the classic one-shot
+                # enactment path, byte-identical outputs and counters --
+                # and skips the results tap its wait()-only job never reads.
+                stream=None if warm else False,
+                results_channel=warm,
+                **merged,
+            )
+        except BaseException:
+            if deployment is not None:
+                # Validation failures raise before the deployment is ever
+                # touched (submit wires threads last), so its warmth -- and
+                # the spin-up it represents -- survives for the next job.
+                self._release(name, deployment, reusable=True)
+            raise
+        with self._lock:
+            self._jobs.append(job)
+        job._on_terminal(lambda j: self._job_done(name, deployment, j))
+        return job
+
+    # -------------------------------------------------------------- sessions
+    def _lease(
+        self, name: str, engine: Mapping, processes: int
+    ) -> Optional[Deployment]:
+        """Borrow the mapping's session deployment (deploying if needed).
+
+        Returns ``None`` when the session is busy with another live job --
+        the caller then runs on an ephemeral cold deployment.  An existing
+        deployment that no longer matches the requested settings is torn
+        down and replaced (cold again).
+        """
+        to_teardown: Optional[Deployment] = None
+        with self._lock:
+            session = self._sessions.setdefault(name, _Session())
+            if session.busy:
+                return None
+            deployment = session.deployment
+            if deployment is not None and not deployment.compatible(
+                name, processes, self._platform
+            ):
+                to_teardown, deployment, session.deployment = deployment, None, None
+            if deployment is not None:
+                # Reused, so the spin-up is already paid: this submission
+                # (and any later one) counts as warm.
+                deployment.warm = True
+            session.busy = True
+        if to_teardown is not None:
+            to_teardown.teardown()
+        if deployment is not None:
+            return deployment
+        # Deploy outside the engine lock: spinning up a pool/redisim server
+        # must not block unrelated submissions (or close()) on other
+        # mappings.  The session is already marked busy, so nobody races us.
+        try:
+            deployment = engine.deploy(processes, self._platform)
+        except BaseException:
+            with self._lock:
+                session.busy = False
+            raise
+        with self._lock:
+            if self._sessions.get(name) is session:
+                session.deployment = deployment
+                return deployment
+        # The engine closed underneath us: run this one job ephemerally.
+        deployment.teardown()
+        return None
+
+    def _release(self, name: str, deployment: Deployment, reusable: bool) -> None:
+        """Return a leased deployment; failed runs forfeit their warmth."""
+        with self._lock:
+            session = self._sessions.get(name)
+            if session is None or session.deployment is not deployment:
+                # The engine was closed (or the session replaced) while the
+                # job ran; the deployment is no longer tracked.
+                reusable = False
+            else:
+                session.busy = False
+                if not reusable:
+                    session.deployment = None
+        if not reusable:
+            deployment.teardown()
+
+    def _job_done(self, name: str, deployment: Optional[Deployment], job: Job) -> None:
+        with self._lock:
+            if job in self._jobs:
+                self._jobs.remove(job)
+        if deployment is not None:
+            self._release(name, deployment, reusable=job.state is JobState.DONE)
 
     def with_options(self, **changes: Any) -> "Engine":
         """A new engine with updated settings (the caches start fresh).
 
         Like the constructor, keyword arguments that are not
-        :class:`RunConfig` fields become mapping options.
+        :class:`RunConfig` fields become mapping options.  Refuses a
+        closed engine, like every other facade entry point.
         """
+        self._ensure_open()
         options = dict(self.config.options)
         config_fields = {f.name for f in fields(RunConfig)}
         field_changes = {}
@@ -372,9 +559,27 @@ class Engine:
 
     # -------------------------------------------------------------- context
     def close(self) -> None:
-        """Release cached mapping engines; the engine refuses further runs."""
+        """Shut the engine down; it refuses any further use.
+
+        Live jobs are cancelled (and given a short grace period to unwind),
+        every session's warm deployment is torn down, and the mapping-engine
+        cache is released.  Idempotent.
+        """
+        with self._lock:
+            already = self._closed
+            self._closed = True
+            jobs = list(self._jobs)
+            sessions, self._sessions = list(self._sessions.values()), {}
+        if already and not jobs and not sessions:
+            return
+        for job in jobs:
+            job.cancel(reason="engine closed")
+        for job in jobs:
+            job._terminal.wait(timeout=5.0)
+        for session in sessions:
+            if session.deployment is not None:
+                session.deployment.teardown()
         self._engines.clear()
-        self._closed = True
 
     def __enter__(self) -> "Engine":
         return self

@@ -9,12 +9,23 @@ base class owns everything common to all six mappings:
   mappings reject platforms without Redis),
 - construction of the run-wide :class:`~repro.core.context.ExecutionContext`
   (clock, emulated cores, seeds),
-- input normalization (how source PEs are driven),
+- input normalization (how source PEs are driven), eagerly for the one-shot
+  :meth:`Mapping.execute` path and lazily (:func:`iter_root_inputs`) for
+  streaming submissions,
 - the operator-fusion rewrite (``fuse`` option): fusable 1:1 chains are
   collapsed into :class:`~repro.core.fusion.FusedPE` operators before
   enactment, so every mapping executes fused graphs transparently,
-- output collection (emissions on unconnected ports become results),
-- metric capture (runtime + total process time via the activity meter).
+- output collection (emissions on unconnected ports become results), with
+  an optional streaming tap so consumers can observe results as they are
+  produced,
+- metric capture (runtime + total process time via the activity meter),
+- the session lifecycle (:meth:`Mapping.deploy` / :meth:`Mapping.submit`):
+  enactment splits into *deploy* (spin up reusable resources: a warm
+  :class:`~repro.runtime.workers.WorkerPool`, a redisim server), *feed*
+  (drive sources -- up front or incrementally through a live
+  :class:`~repro.jobs.Job`), *drain* (run to completion of the closed
+  input) and *teardown* (:meth:`Deployment.teardown`), so consecutive
+  submissions on one session skip the spin-up.
 """
 
 from __future__ import annotations
@@ -22,7 +33,7 @@ from __future__ import annotations
 import copy
 import pickle
 import threading
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.autoscale.trace import ScalingTrace
 from repro.core.concrete import ConcreteWorkflow, Delivery, instance_id
@@ -31,10 +42,13 @@ from repro.core.exceptions import MappingError, UnsupportedFeatureError
 from repro.core.fusion import MemberMeter, fuse_graph
 from repro.core.graph import WorkflowGraph
 from repro.core.pe import GenericPE
+from repro.jobs import Job, JobCancelledError
 from repro.metrics.result import RunResult
 from repro.platforms.profiles import LAPTOP, PlatformProfile
+from repro.redisim.server import RedisServer
 from repro.runtime.accounting import ActivityMeter
 from repro.runtime.clock import Clock
+from repro.runtime.workers import WorkerPool
 
 InputSpec = Union[None, int, List[Any], Dict[str, Union[int, List[Any]]]]
 
@@ -95,6 +109,77 @@ def resolve_batch_linger(options: Dict[str, Any]) -> float:
     return linger_ms / 1000.0
 
 
+# --------------------------------------------------------------------- inputs
+
+def first_input_port(pe: GenericPE) -> Optional[str]:
+    """The port a bare data item is fed to (the "read item i" idiom)."""
+    return next(iter(pe.inputconnections), None)
+
+
+def expand_input_item(pe: GenericPE, item: Any) -> Dict[str, Any]:
+    """One user-supplied item as a full input mapping for ``pe``.
+
+    Dicts are taken as complete input mappings; any other value is fed to
+    the PE's first input port.
+    """
+    if isinstance(item, dict):
+        return item
+    port = first_input_port(pe)
+    if port is not None:
+        return {port: item}
+    raise MappingError(
+        f"source PE {pe.name!r} has no input port to feed {item!r} to"
+    )
+
+
+def _expand_stream(pe: GenericPE, spec: Any) -> Iterator[Dict[str, Any]]:
+    """Lazy expansion of one root's input spec into input mappings.
+
+    Spec errors that are knowable up front (negative counts) raise here;
+    per-item errors surface as the offending item is consumed.
+    """
+    first_port = first_input_port(pe)
+    if spec is None:
+        return iter(({},))
+    if isinstance(spec, int):
+        if spec < 0:
+            raise MappingError(f"iteration count must be >= 0, got {spec}")
+        if first_port is None:
+            return ({} for _ in range(spec))
+        return ({first_port: i} for i in range(spec))
+
+    return (expand_input_item(pe, item) for item in spec)
+
+
+def iter_root_inputs(
+    graph: WorkflowGraph, inputs: InputSpec
+) -> Dict[str, Iterator[Dict[str, Any]]]:
+    """Lazy counterpart of :func:`normalize_inputs`: per-root *iterators*.
+
+    The streaming submission path consumes these while the workflow is
+    already running, so a generator-backed source feeds the live graph
+    item by item instead of being materialized up front.  Spec-shape
+    errors (unknown or non-source PE names, negative counts) still raise
+    eagerly; per-item expansion errors surface on consumption.
+    """
+    roots = graph.roots()
+    if not roots:
+        raise MappingError(f"workflow {graph.name!r} has no source PE")
+    if isinstance(inputs, dict):
+        provided: Dict[str, Iterator[Dict[str, Any]]] = {}
+        root_names = {pe.name for pe in roots}
+        for name, spec in inputs.items():
+            if name not in graph.pes:
+                raise MappingError(f"inputs reference unknown PE {name!r}")
+            if name not in root_names:
+                raise MappingError(f"inputs reference non-source PE {name!r}")
+            provided[name] = _expand_stream(graph.pe(name), spec)
+        for pe in roots:
+            provided.setdefault(pe.name, iter(()))
+        return provided
+    return {pe.name: _expand_stream(pe, inputs) for pe in roots}
+
+
 def normalize_inputs(
     graph: WorkflowGraph, inputs: InputSpec
 ) -> Dict[str, List[Dict[str, Any]]]:
@@ -106,63 +191,38 @@ def normalize_inputs(
     - ``int n`` -- each source PE is invoked ``n`` times; if the PE declares
       an input port, iteration indices ``0..n-1`` are fed to its first
       input port (the common "read item i" source idiom).
-    - ``list`` -- one invocation per item for every source; dict items are
-      taken as full input mappings, other values are fed to the source's
-      first input port.
+    - ``list`` (or any iterable) -- one invocation per item for every
+      source; dict items are taken as full input mappings, other values are
+      fed to the source's first input port.
     - ``dict`` -- maps source PE name to any of the above.
+
+    This is the eager form used by :meth:`Mapping.execute`; streaming
+    submissions use :func:`iter_root_inputs` to consume iterables lazily.
     """
-    roots = graph.roots()
-    if not roots:
-        raise MappingError(f"workflow {graph.name!r} has no source PE")
-
-    def expand(pe: GenericPE, spec: Union[int, List[Any], None]) -> List[Dict[str, Any]]:
-        first_port = next(iter(pe.inputconnections), None)
-        if spec is None:
-            return [{}]
-        if isinstance(spec, int):
-            if spec < 0:
-                raise MappingError(f"iteration count must be >= 0, got {spec}")
-            if first_port is None:
-                return [{} for _ in range(spec)]
-            return [{first_port: i} for i in range(spec)]
-        items: List[Dict[str, Any]] = []
-        for item in spec:
-            if isinstance(item, dict):
-                items.append(item)
-            elif first_port is not None:
-                items.append({first_port: item})
-            else:
-                raise MappingError(
-                    f"source PE {pe.name!r} has no input port to feed {item!r} to"
-                )
-        return items
-
-    if isinstance(inputs, dict):
-        provided = {}
-        root_names = {pe.name for pe in roots}
-        for name, spec in inputs.items():
-            if name not in graph.pes:
-                raise MappingError(f"inputs reference unknown PE {name!r}")
-            if name not in root_names:
-                raise MappingError(f"inputs reference non-source PE {name!r}")
-            provided[name] = expand(graph.pe(name), spec)
-        for pe in roots:
-            provided.setdefault(pe.name, [])
-        return provided
-    return {pe.name: expand(pe, inputs) for pe in roots}
+    return {
+        name: list(items) for name, items in iter_root_inputs(graph, inputs).items()
+    }
 
 
 class ResultsCollector:
-    """Thread-safe sink for emissions on unconnected output ports."""
+    """Thread-safe sink for emissions on unconnected output ports.
 
-    def __init__(self) -> None:
+    ``tap``, when given, is invoked as ``tap(key, value)`` after each
+    collected emission (outside the collector lock) -- the streaming
+    results channel of :meth:`repro.jobs.Job.results`.
+    """
+
+    def __init__(self, tap: Optional[Callable[[str, Any], None]] = None) -> None:
         self._lock = threading.Lock()
         self._data: Dict[str, List[Any]] = {}
+        self._tap = tap
 
     def add(self, pe_name: str, port: str, value: Any) -> None:
         key = f"{pe_name}.{port}"
         with self._lock:
             self._data.setdefault(key, []).append(value)
+        if self._tap is not None:
+            self._tap(key, value)
 
     def as_dict(self) -> Dict[str, List[Any]]:
         with self._lock:
@@ -227,13 +287,189 @@ def dispatch_emissions(
     return deliveries
 
 
+# ------------------------------------------------------------------- sessions
+
+class Deployment:
+    """Warm, reusable enactment resources of one mapping.
+
+    The *deploy* stage of the session lifecycle: whatever survives between
+    submissions lives here -- a pre-spawned :class:`WorkerPool` for the
+    pool-driven mappings, a redisim :class:`RedisServer` for the Redis
+    mappings.  A deployment starts *cold* (``warm=False``); the engine
+    flips it warm when a later submission reuses it, so per-run counters
+    (``deploy_cold`` / ``deploy_warm``) record whether the spin-up was
+    skipped.
+    """
+
+    def __init__(
+        self,
+        mapping_name: str,
+        processes: int,
+        platform: PlatformProfile,
+        pool: Optional[WorkerPool] = None,
+        redis_server: Optional[RedisServer] = None,
+    ) -> None:
+        self.mapping_name = mapping_name
+        self.processes = processes
+        self.platform = platform
+        self.pool = pool
+        self.redis_server = redis_server
+        #: True once a later submission reuses this deployment (the
+        #: spin-up it represents was skipped).
+        self.warm = False
+
+    def compatible(
+        self, mapping_name: str, processes: int, platform: PlatformProfile
+    ) -> bool:
+        """Whether a submission with these settings can reuse this deployment."""
+        return (
+            self.mapping_name == mapping_name
+            and self.processes == processes
+            and self.platform == platform
+        )
+
+    def teardown(self, timeout: float = 5.0) -> None:
+        """Release the warm resources (idempotent)."""
+        pool, self.pool = self.pool, None
+        if pool is not None:
+            pool.close()
+            pool.join(timeout=timeout)
+        server, self.redis_server = self.redis_server, None
+        if server is not None:
+            server.close()
+
+    def __repr__(self) -> str:
+        parts = [f"Deployment({self.mapping_name!r}, p={self.processes}"]
+        if self.pool is not None:
+            parts.append("pool")
+        if self.redis_server is not None:
+            parts.append("redis")
+        return ", ".join(parts) + (", warm)" if self.warm else ", cold)")
+
+
+class LiveFeed:
+    """Live input bridge between a :class:`~repro.jobs.Job` and its enactment.
+
+    The *feed* stage of the session lifecycle.  Construction carries the
+    lazy initial inputs (:func:`iter_root_inputs`); the enacting mapping
+    calls :meth:`attach` once its input channels exist, which drains the
+    initial iterators through the sink *while the workflow is already
+    running* and then forwards live :meth:`push` calls (from
+    ``Job.send``) directly.  :meth:`close` marks end-of-stream; unbound
+    sources stay live until then.
+    """
+
+    def __init__(
+        self,
+        initial: Dict[str, Iterator[Dict[str, Any]]],
+        cancelled: threading.Event,
+    ) -> None:
+        self._initial = initial
+        self._cancelled = cancelled
+        self._lock = threading.Lock()
+        self._pending: List[Tuple[str, Dict[str, Any]]] = []
+        self._sink: Optional[Callable[[str, Dict[str, Any]], None]] = None
+        self._on_close: Optional[Callable[[], None]] = None
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def attach(
+        self,
+        sink: Callable[[str, Dict[str, Any]], None],
+        on_close: Callable[[], None],
+    ) -> None:
+        """Mapping side: start delivery into the running enactment.
+
+        Drains the lazy initial inputs through ``sink`` first (stopping
+        early on cancellation), then atomically flushes anything buffered
+        by concurrent ``push`` calls and switches to direct delivery.
+        ``on_close`` fires exactly once when the input closes -- possibly
+        immediately, if it already did.
+        """
+        for root, items in self._initial.items():
+            for item in items:
+                if self._cancelled.is_set():
+                    break
+                sink(root, item)
+            if self._cancelled.is_set():
+                break
+        with self._lock:
+            self._sink = sink
+            self._on_close = on_close
+            pending, self._pending = self._pending, []
+            for root, item in pending:
+                sink(root, item)
+            closed = self._closed
+        if closed:
+            on_close()
+
+    def push(self, root: str, item: Dict[str, Any]) -> None:
+        """Job side: deliver one live input mapping to ``root``."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("input is closed")
+            if self._sink is None:
+                self._pending.append((root, item))
+                return
+            self._sink(root, item)
+
+    def close(self) -> None:
+        """Signal end-of-stream (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            on_close = self._on_close
+        if on_close is not None:
+            on_close()
+
+
+class StreamControl:
+    """Cancellation plumbing shared by a job handle and its enactment.
+
+    Mappings register :meth:`on_cancel` hooks (close channels, broadcast
+    pills) that fire exactly once when :meth:`cancel` is called -- or
+    immediately, if it already was.  Worker loops poll :attr:`cancelled`.
+    """
+
+    def __init__(self) -> None:
+        self.cancelled = threading.Event()
+        self._lock = threading.Lock()
+        self._hooks: List[Callable[[], None]] = []
+
+    def on_cancel(self, hook: Callable[[], None]) -> None:
+        with self._lock:
+            if not self.cancelled.is_set():
+                self._hooks.append(hook)
+                return
+        hook()
+
+    def cancel(self) -> None:
+        with self._lock:
+            if self.cancelled.is_set():
+                return
+            self.cancelled.set()
+            hooks, self._hooks = self._hooks, []
+        for hook in hooks:
+            hook()
+
+
 class EnactmentState:
-    """Everything :meth:`Mapping._enact` needs, bundled."""
+    """Everything :meth:`Mapping._enact` needs, bundled.
+
+    ``feed`` / ``control`` / ``pool`` are only set on streaming
+    submissions: the live input bridge, the cancellation plumbing, and the
+    warm worker pool to run on (``None`` means spin up an ephemeral one).
+    """
 
     def __init__(
         self,
         graph: WorkflowGraph,
-        provided: Dict[str, List[Dict[str, Any]]],
+        provided: Dict[str, Any],
         processes: int,
         ctx: ExecutionContext,
         platform: PlatformProfile,
@@ -241,6 +477,9 @@ class EnactmentState:
         collector: ResultsCollector,
         counters: Counters,
         options: Dict[str, Any],
+        feed: Optional[LiveFeed] = None,
+        control: Optional[StreamControl] = None,
+        pool: Optional[WorkerPool] = None,
     ) -> None:
         self.graph = graph
         self.provided = provided
@@ -251,12 +490,28 @@ class EnactmentState:
         self.collector = collector
         self.counters = counters
         self.options = options
+        self.feed = feed
+        self.control = control
+        self.pool = pool
+        #: Member-level meter when the fusion rewrite ran (else None).
+        self.member_meter: Optional[MemberMeter] = None
+        #: Original root name -> fused root name (identity when unfused).
+        self.root_rename: Dict[str, str] = {}
         self.errors: List[BaseException] = []
         self._errors_lock = threading.Lock()
 
     @property
     def clock(self) -> Clock:
         return self.ctx.clock
+
+    @property
+    def streaming(self) -> bool:
+        """True when this enactment runs the live streaming path."""
+        return self.feed is not None
+
+    def cancelled(self) -> bool:
+        """True once the owning job was cancelled (never for execute())."""
+        return self.control is not None and self.control.cancelled.is_set()
 
     def record_error(self, exc: BaseException) -> None:
         with self._errors_lock:
@@ -280,6 +535,36 @@ class Mapping:
     supports_stateful = True
     #: Whether the mapping needs a Redis deployment on the platform.
     requires_redis = False
+    #: Whether :meth:`submit` runs the live streaming path (incremental
+    #: ingestion into a running workflow).  Mappings without it fall back
+    #: to buffered submission -- still job-handled, results still stream.
+    supports_streaming = False
+    #: Whether :meth:`deploy` pre-spawns a warm :class:`WorkerPool` for
+    #: streaming submissions to run on.
+    wants_pool = False
+
+    # ------------------------------------------------------------- lifecycle
+    def deploy(
+        self, processes: int, platform: PlatformProfile = LAPTOP, **options: Any
+    ) -> Deployment:
+        """Spin up this mapping's reusable resources (the *deploy* stage).
+
+        The returned :class:`Deployment` is what a session keeps warm
+        across consecutive submissions: a pre-spawned worker pool for the
+        pool-driven mappings (``wants_pool``), a redisim server for the
+        Redis-backed ones, nothing for mappings with no spin-up cost.
+        Callers own the deployment and must :meth:`Deployment.teardown`
+        it; :meth:`repro.engine.Engine` does this for its sessions.
+        """
+        if processes < 1:
+            raise MappingError(f"processes must be >= 1, got {processes}")
+        pool = None
+        if self.wants_pool:
+            pool = WorkerPool(processes, name=f"{self.name}-warm")
+        server = RedisServer() if self.requires_redis else None
+        return Deployment(
+            self.name, processes, platform, pool=pool, redis_server=server
+        )
 
     def execute(
         self,
@@ -292,6 +577,11 @@ class Mapping:
         **options: Any,
     ) -> RunResult:
         """Enact ``graph`` and return the measured :class:`RunResult`.
+
+        The one-shot path: inputs are taken in full up front, enactment
+        runs on the calling thread with an ephemeral (cold) deployment,
+        and results surface only in the returned record -- exactly the
+        pre-session contract.  Long-lived callers use :meth:`submit`.
 
         Parameters
         ----------
@@ -310,10 +600,226 @@ class Mapping:
         options:
             Mapping-specific tuning; unknown keys raise.
         """
-        if processes < 1:
-            raise MappingError(f"processes must be >= 1, got {processes}")
         options = dict(options)
         fuse_option = options.pop("fuse", False)
+        self._check_enactable(graph, processes, platform)
+        provided = normalize_inputs(graph, inputs)
+        state = self._build_state(
+            graph, provided, processes, platform, time_scale, seed, options,
+            fuse_option,
+        )
+        return self._run_measured(state)
+
+    def submit(
+        self,
+        graph: WorkflowGraph,
+        inputs: InputSpec = None,
+        processes: int = 1,
+        platform: PlatformProfile = LAPTOP,
+        time_scale: float = 1.0,
+        seed: int = 0,
+        deployment: Optional[Deployment] = None,
+        deadline: Optional[float] = None,
+        stream: Optional[bool] = None,
+        results_channel: bool = True,
+        **options: Any,
+    ) -> Job:
+        """Start enacting ``graph`` and return a live :class:`Job` handle.
+
+        On streaming mappings (``supports_streaming``) the workflow starts
+        immediately on a background driver thread: initial ``inputs`` are
+        consumed *lazily* into the running graph, ``job.send`` feeds more,
+        ``job.close_input`` ends the stream, and ``job.results()`` yields
+        outputs as the collector receives them.  Other mappings buffer
+        ingestion and enact once the input closes (results still stream).
+        ``stream=False`` forces the buffered wiring even on a streaming
+        mapping -- the classic enactment path, byte-identical counters --
+        which is what the ``Engine.run()`` shim uses.  ``results_channel=
+        False`` skips the collector tap for wait-only callers (the shim
+        again): ``job.results()`` then ends without yielding, instead of
+        buffering every output a second time for a consumer that never
+        comes.
+
+        ``deployment`` is a warm :class:`Deployment` from :meth:`deploy`;
+        ``None`` runs cold with ephemeral resources, exactly like
+        :meth:`execute`.  ``deadline`` (real seconds) cancels the job when
+        exceeded.  Validation errors raise here, synchronously; enactment
+        errors surface from ``job.wait()`` / ``job.results()``.
+        """
+        options = dict(options)
+        fuse_option = options.pop("fuse", False)
+        if deadline is not None and deadline <= 0:
+            # Validated before any wiring: a bad deadline must not leave an
+            # orphaned driver thread running on a torn-down deployment.
+            raise ValueError(f"deadline must be > 0 seconds, got {deadline}")
+        self._check_enactable(graph, processes, platform)
+        if stream is None:
+            stream = self.supports_streaming
+        elif stream and not self.supports_streaming:
+            raise MappingError(
+                f"mapping {self.name!r} does not support live streaming "
+                f"submissions; drop stream=True for buffered ingestion"
+            )
+        if deployment is not None and not deployment.compatible(
+            self.name, processes, platform
+        ):
+            raise MappingError(
+                f"deployment {deployment!r} is not compatible with a "
+                f"{self.name!r} submission at {processes} processes"
+            )
+        if (
+            deployment is not None
+            and deployment.redis_server is not None
+            and self.requires_redis
+        ):
+            options.setdefault("redis_server", deployment.redis_server)
+        job = Job(mapping=self.name, workflow=graph.name, streaming=stream)
+        tap = job._emit if results_channel else None
+        if stream:
+            self._wire_streaming(
+                job, graph, inputs, processes, platform, time_scale, seed,
+                options, fuse_option, deployment, tap,
+            )
+        else:
+            self._wire_buffered(
+                job, graph, inputs, processes, platform, time_scale, seed,
+                options, fuse_option, deployment, tap,
+            )
+        job._arm_deadline(deadline)
+        return job
+
+    # -------------------------------------------------- submission internals
+    def _wire_streaming(
+        self,
+        job: Job,
+        graph: WorkflowGraph,
+        inputs: InputSpec,
+        processes: int,
+        platform: PlatformProfile,
+        time_scale: float,
+        seed: int,
+        options: Dict[str, Any],
+        fuse_option: Any,
+        deployment: Optional[Deployment],
+        tap: Optional[Callable[[str, Any], None]],
+    ) -> None:
+        control = StreamControl()
+        # For a *live* submission ``inputs=None`` means "no initial inputs,
+        # the sources are driven by send()" -- not the one-shot convention
+        # of a single empty invocation per source (drive a producer-style
+        # source explicitly with ``inputs=[{}]`` or ``job.send(pe, [{}])``).
+        provided = iter_root_inputs(graph, inputs if inputs is not None else [])
+        state = self._build_state(
+            graph, provided, processes, platform, time_scale, seed, options,
+            fuse_option, tap=tap, control=control,
+            pool=deployment.pool if deployment is not None else None,
+        )
+        feed = LiveFeed(state.provided, cancelled=control.cancelled)
+        state.feed = feed
+        self._note_deployment(state, deployment)
+        roots = {pe.name for pe in graph.roots()}
+
+        def send(target: Any, tuples: Any) -> None:
+            root, items = expand_send(graph, target, tuples, roots)
+            root = state.root_rename.get(root, root)
+            for item in items:
+                feed.push(root, item)
+
+        job._wire(send, feed.close, control.cancel)
+
+        def drive() -> None:
+            job._mark_running()
+            try:
+                result = self._run_measured(state)
+            except JobCancelledError:
+                job._finish_cancelled()
+            except BaseException as exc:  # noqa: BLE001 - driver boundary
+                if control.cancelled.is_set():
+                    # Cancellation unwinds workers mid-flight; whatever
+                    # error that produced is the cancel, not a failure.
+                    job._finish_cancelled()
+                else:
+                    job._fail(exc)
+            else:
+                job._finish(result)
+
+        threading.Thread(
+            target=drive, name=f"job-{self.name}-{graph.name}", daemon=True
+        ).start()
+
+    def _wire_buffered(
+        self,
+        job: Job,
+        graph: WorkflowGraph,
+        inputs: InputSpec,
+        processes: int,
+        platform: PlatformProfile,
+        time_scale: float,
+        seed: int,
+        options: Dict[str, Any],
+        fuse_option: Any,
+        deployment: Optional[Deployment],
+        tap: Optional[Callable[[str, Any], None]],
+    ) -> None:
+        # Initial inputs are materialized now (surfacing spec errors at
+        # submit time); sends append under the lock until the input closes.
+        buffer = normalize_inputs(graph, inputs)
+        buffer_lock = threading.Lock()
+        closed = threading.Event()
+        cancelled = threading.Event()
+        roots = {pe.name for pe in graph.roots()}
+
+        def send(target: Any, tuples: Any) -> None:
+            root, items = expand_send(graph, target, tuples, roots)
+            with buffer_lock:
+                buffer.setdefault(root, []).extend(items)
+
+        def cancel() -> None:
+            cancelled.set()
+            closed.set()
+
+        job._wire(send, closed.set, cancel)
+
+        def drive() -> None:
+            closed.wait()
+            if cancelled.is_set():
+                job._finish_cancelled()
+                return
+            job._mark_running()
+            try:
+                with buffer_lock:
+                    provided = {root: list(items) for root, items in buffer.items()}
+                state = self._build_state(
+                    graph, provided, processes, platform, time_scale, seed,
+                    options, fuse_option, tap=tap,
+                )
+                self._note_deployment(state, deployment)
+                result = self._run_measured(state)
+            except BaseException as exc:  # noqa: BLE001 - driver boundary
+                job._fail(exc)
+            else:
+                # A cancel that landed mid-run cannot interrupt a buffered
+                # enactment; it wins anyway -- the result is discarded by
+                # the CANCELLED-state guard in Job._resolve.
+                job._finish(result)
+
+        threading.Thread(
+            target=drive, name=f"job-{self.name}-{graph.name}", daemon=True
+        ).start()
+
+    @staticmethod
+    def _note_deployment(state: EnactmentState, deployment: Optional[Deployment]) -> None:
+        """Counter-stamp whether this submission reused a warm deployment."""
+        if deployment is not None:
+            state.counters.inc("deploy_warm" if deployment.warm else "deploy_cold")
+
+    # ------------------------------------------------------ enactment stages
+    def _check_enactable(
+        self, graph: WorkflowGraph, processes: int, platform: PlatformProfile
+    ) -> None:
+        """Validation and feature gating shared by execute() and submit()."""
+        if processes < 1:
+            raise MappingError(f"processes must be >= 1, got {processes}")
         graph.validate()
         if graph.is_stateful() and not self.supports_stateful:
             raise UnsupportedFeatureError(
@@ -326,6 +832,22 @@ class Mapping:
                 f"platform {platform.name!r} has no Redis deployment; "
                 f"mapping {self.name!r} cannot run there"
             )
+
+    def _build_state(
+        self,
+        graph: WorkflowGraph,
+        provided: Dict[str, Any],
+        processes: int,
+        platform: PlatformProfile,
+        time_scale: float,
+        seed: int,
+        options: Dict[str, Any],
+        fuse_option: Any,
+        tap: Optional[Callable[[str, Any], None]] = None,
+        control: Optional[StreamControl] = None,
+        pool: Optional[WorkerPool] = None,
+    ) -> EnactmentState:
+        """Assemble the run context (clock, collector, fusion rewrite)."""
         clock = Clock(time_scale)
         ctx = ExecutionContext(
             clock=clock,
@@ -333,11 +855,11 @@ class Mapping:
             seed=seed,
             cpu_speed=platform.cpu_speed,
         )
-        provided = normalize_inputs(graph, inputs)
         meter = ActivityMeter(clock)
-        collector = ResultsCollector()
+        collector = ResultsCollector(tap=tap)
         counters = Counters()
         member_meter: Optional[MemberMeter] = None
+        root_rename: Dict[str, str] = {}
         if fuse_option:
             # Collapse fusable 1:1 chains before enactment: the rewritten
             # graph is an ordinary WorkflowGraph, so every mapping executes
@@ -347,6 +869,7 @@ class Mapping:
             if plan.fused:
                 graph = plan.graph
                 provided = plan.rename_inputs(provided)
+                root_rename = dict(plan.member_to_fused)
                 member_meter = MemberMeter()
                 ctx.pe_meter = member_meter
                 counters.inc("fused_chains", len(plan.chains))
@@ -361,30 +884,91 @@ class Mapping:
             collector=collector,
             counters=counters,
             options=options,
+            control=control,
+            pool=pool,
         )
+        state.member_meter = member_meter
+        state.root_rename = root_rename
+        return state
+
+    def _run_measured(self, state: EnactmentState) -> RunResult:
+        """The *drain* stage: enact to completion and assemble the result."""
+        clock = state.clock
         started = clock.now()
         trace = self._enact(state)
         runtime = clock.now() - started
-        meter.close()
+        state.meter.close()
+        if state.cancelled():
+            raise JobCancelledError(f"job {state.graph.name!r} was cancelled")
         state.raise_errors()
         pe_times: Dict[str, float] = {}
-        if member_meter is not None:
-            pe_times = member_meter.times()
-            for member, count in member_meter.tasks().items():
-                counters.inc(f"member_tasks.{member}", count)
+        if state.member_meter is not None:
+            pe_times = state.member_meter.times()
+            for member, count in state.member_meter.tasks().items():
+                state.counters.inc(f"member_tasks.{member}", count)
         return RunResult(
             mapping=self.name,
-            workflow=graph.name,
-            processes=processes,
+            workflow=state.graph.name,
+            processes=state.processes,
             runtime=runtime,
-            process_time=meter.total(),
-            outputs=collector.as_dict(),
-            counters=counters.as_dict(),
+            process_time=state.meter.total(),
+            outputs=state.collector.as_dict(),
+            counters=state.counters.as_dict(),
             trace=trace,
-            per_worker_time=meter.per_worker(),
+            per_worker_time=state.meter.per_worker(),
             pe_times=pe_times,
         )
 
     def _enact(self, state: EnactmentState) -> Optional[ScalingTrace]:
         """Run the workflow; return a scaling trace if the mapping has one."""
         raise NotImplementedError
+
+
+def resolve_send_target(
+    graph: WorkflowGraph, target: Any, roots: Optional[set] = None
+) -> Tuple[str, Optional[str]]:
+    """Resolve a ``Job.send`` target to ``(source PE name, port or None)``.
+
+    Accepts a source PE object, its name, or ``"<pe>.<port>"`` addressing
+    a specific input port.  Non-source PEs are rejected: mid-graph
+    injection would bypass the groupings of the in-edges.  ``roots`` is
+    the pre-computed source-name set -- the graph is immutable once
+    submitted, so hot send paths pass it instead of re-deriving it per
+    call.
+    """
+    port: Optional[str] = None
+    if isinstance(target, GenericPE):
+        name = target.name
+    elif isinstance(target, str):
+        name = target
+        if name not in graph.pes and "." in name:
+            name, port = name.rsplit(".", 1)
+    else:
+        raise MappingError(
+            f"cannot send to {target!r}: pass a source PE, its name, "
+            f"or '<pe>.<port>'"
+        )
+    if name not in graph.pes:
+        raise MappingError(f"send target references unknown PE {name!r}")
+    if roots is None:
+        roots = {pe.name for pe in graph.roots()}
+    if name not in roots:
+        raise MappingError(
+            f"send target {name!r} is not a source PE of {graph.name!r}"
+        )
+    if port is not None and port not in graph.pe(name).inputconnections:
+        raise MappingError(
+            f"source PE {name!r} has no input port {port!r}"
+        )
+    return name, port
+
+
+def expand_send(
+    graph: WorkflowGraph, target: Any, tuples: Any, roots: Optional[set] = None
+) -> Tuple[str, List[Dict[str, Any]]]:
+    """Expand one ``Job.send`` call into (root name, input mappings)."""
+    name, port = resolve_send_target(graph, target, roots)
+    pe = graph.pe(name)
+    if port is not None:
+        return name, [{port: item} for item in tuples]
+    return name, [expand_input_item(pe, item) for item in tuples]

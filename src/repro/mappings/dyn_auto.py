@@ -65,21 +65,49 @@ from repro.runtime.workers import WorkerPool
         autoscaling=True,
         batching=True,
         fusion=True,
+        streaming=True,
         description="Dynamic multiprocessing + Algorithm 1 auto-scaling",
     )
 )
 class DynAutoMultiMapping(Mapping):
-    """Dynamic scheduling + Algorithm 1 auto-scaler (backlog strategy)."""
+    """Dynamic scheduling + Algorithm 1 auto-scaler (backlog strategy).
+
+    Streaming submissions reuse the session's warm
+    :class:`~repro.runtime.workers.WorkerPool` (skipping the per-run pool
+    spin-up), feed the global queue from a background feeder thread while
+    sessions already drain it, and keep the auto-scaler loop alive until
+    the live input closes -- idle-open periods shrink the active set to
+    the strategy's floor, so an open-but-quiet stream costs standby time,
+    not busy workers.
+    """
 
     name = "dyn_auto_multi"
     supports_stateful = False
+    supports_streaming = True
+    wants_pool = True
 
     def _enact(self, state: EnactmentState) -> Optional[ScalingTrace]:
         policy = state.options.get("termination", TerminationPolicy())
         workforce = DynamicWorkforce(state, policy)
-        workforce.seed_roots()
+        feeder: Optional[threading.Thread] = None
+        if state.streaming:
+            workforce.arm_cancel(state.processes)
+            # Feed stage on its own thread: the scaler loop below must run
+            # while the lazy initial inputs are still being drained.
+            feeder = threading.Thread(
+                target=workforce.attach_feed,
+                name=f"feed-{state.graph.name}",
+                daemon=True,
+            )
+            feeder.start()
+        else:
+            workforce.seed_roots()
 
-        pool = WorkerPool(state.processes, name=f"auto-{state.graph.name}")
+        pool = state.pool
+        own_pool = pool is None
+        if own_pool:
+            pool = WorkerPool(state.processes, name=f"auto-{state.graph.name}")
+        error_start = len(pool.errors)
         strategy = state.options.get(
             "strategy", BacklogStrategy(min_queue=state.options.get("min_queue", 0))
         )
@@ -118,9 +146,31 @@ class DynAutoMultiMapping(Mapping):
         try:
             scaler.process(session, workforce.is_terminated)
         finally:
-            pool.close()
-            pool.join(timeout=state.options.get("join_timeout", 300.0))
-        for exc in pool.errors:
+            # A warm pool is the session's deployment: it survives the
+            # submission (teardown closes it); an ephemeral pool does not.
+            if own_pool:
+                pool.close()
+                pool.join(timeout=state.options.get("join_timeout", 300.0))
+            else:
+                scaler.stop()
+                if not scaler.wait_all_done(
+                    timeout=state.options.get("join_timeout", 300.0)
+                ):
+                    # A session stuck past the timeout would otherwise ride
+                    # along invisibly on the warm pool into the next job;
+                    # failing the run forfeits the deployment instead.
+                    state.record_error(
+                        TimeoutError("worker sessions did not finish in time")
+                    )
+            if feeder is not None:
+                feeder.join(timeout=0.1 if state.cancelled() else 5.0)
+                # A feeder still stuck on a blocked iterable after a cancel
+                # is simply abandoned (daemon); otherwise it is an error.
+                if feeder.is_alive() and not state.cancelled():
+                    state.record_error(
+                        TimeoutError("live input feeder did not finish")
+                    )
+        for exc in pool.errors[error_start:]:
             state.record_error(exc)
         state.counters.inc("scale_iterations", len(trace))
         state.counters.inc("max_active", trace.max_active())

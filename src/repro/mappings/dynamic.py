@@ -43,6 +43,7 @@ from repro.runtime.queues import (
     batch_items,
     chunked,
 )
+from repro.runtime.workers import WorkerPool
 
 #: A task is (pe_name, input_port_or_None, payload).  ``None`` port means
 #: the payload is a full inputs mapping (source-PE driving).
@@ -68,6 +69,11 @@ class DynamicWorkforce:
         self._copies: Dict[str, Dict[str, GenericPE]] = {}
         self._copies_lock = threading.Lock()
         self.pills_sent = threading.Event()
+        #: Streaming: set once the live input is closed (always set for the
+        #: one-shot path, whose inputs are complete from the start).
+        self.input_closed = threading.Event()
+        if state.feed is None:
+            self.input_closed.set()
 
     # ------------------------------------------------------------- seeding
     def seed_roots(self) -> None:
@@ -80,6 +86,37 @@ class DynamicWorkforce:
                 for item in items:
                     self.queue.put((root, None, item))
         self.state.counters.inc("seed_tasks", self.queue.outstanding)
+
+    def attach_feed(self) -> None:
+        """Streaming seeding: pipe initial + live inputs into the queue.
+
+        Runs on (or from) the driver thread while workers already consume:
+        a generator-backed source therefore feeds the running workflow
+        lazily.  ``input_closed`` is set only after every initial item is
+        queued (the feed guarantees close-after-drain), so the drain proof
+        in :meth:`is_terminated` cannot fire with input still in flight.
+        A failing input iterable closes the stream and surfaces through
+        the run's normal error path instead of hanging the job.
+        """
+
+        def sink(root: str, item: Dict[str, object]) -> None:
+            self.queue.put((root, None, item))
+            self.state.counters.inc("stream_inputs")
+
+        try:
+            self.state.feed.attach(sink, self.input_closed.set)
+        except BaseException as exc:  # noqa: BLE001 - feed boundary
+            self.state.record_error(exc)
+            self.input_closed.set()
+
+    def arm_cancel(self, workers: int) -> None:
+        """Streaming: a job cancel closes the input and pills all workers."""
+        if self.state.control is not None:
+            def on_cancel() -> None:
+                self.input_closed.set()
+                self.broadcast_pills(workers)
+
+            self.state.control.on_cancel(on_cancel)
 
     # ------------------------------------------------------------- workers
     def _graph_copy(self, worker_key: str) -> Dict[str, GenericPE]:
@@ -135,7 +172,16 @@ class DynamicWorkforce:
         return len(tasks)
 
     def is_terminated(self) -> bool:
-        """The termination condition (safe by default, see module docs)."""
+        """The termination condition (safe by default, see module docs).
+
+        A streaming run cannot terminate while its input is still open --
+        an empty (even provably drained) queue only means the sources are
+        idle between sends.  A cancelled job terminates unconditionally.
+        """
+        if self.state.cancelled():
+            return True
+        if not self.input_closed.is_set():
+            return False
         if self.policy.unsafe_empty_check:
             return self.queue.empty()
         return self.queue.is_drained()
@@ -194,18 +240,30 @@ class DynamicWorkforce:
         dynamic=True,
         batching=True,
         fusion=True,
+        streaming=True,
         description="Dynamic scheduling on a global multiprocessing queue",
     )
 )
 class DynMultiMapping(Mapping):
-    """Dynamic scheduling on the multiprocessing-style queue (``dyn_multi``)."""
+    """Dynamic scheduling on the multiprocessing-style queue (``dyn_multi``).
+
+    Streaming submissions run the same dedicated worker loops on the
+    session's warm :class:`~repro.runtime.workers.WorkerPool`: live sends
+    drop tasks straight onto the global queue, and the termination check
+    additionally requires the input to be closed (see
+    :meth:`DynamicWorkforce.is_terminated`).
+    """
 
     name = "dyn_multi"
     supports_stateful = False
+    supports_streaming = True
+    wants_pool = True
 
     def _enact(self, state: EnactmentState) -> Optional[ScalingTrace]:
         policy = state.options.get("termination", TerminationPolicy())
         workforce = DynamicWorkforce(state, policy)
+        if state.streaming:
+            return self._enact_streaming(state, workforce)
         workforce.seed_roots()
 
         def run_worker(index: int) -> None:
@@ -239,4 +297,62 @@ class DynMultiMapping(Mapping):
                     TimeoutError(f"worker {thread.name} did not finish in {timeout}s")
                 )
                 break
+        return None
+
+    def _enact_streaming(
+        self, state: EnactmentState, workforce: DynamicWorkforce
+    ) -> Optional[ScalingTrace]:
+        """Dedicated worker loops on a (possibly warm) pool, fed live."""
+        workforce.arm_cancel(state.processes)
+        pool = state.pool
+        own_pool = pool is None
+        if own_pool:
+            pool = WorkerPool(state.processes, name=f"dyn-{state.graph.name}")
+
+        def run_worker(index: int) -> None:
+            worker_id = f"dyn-{index}"
+            try:
+                workforce.worker_loop(worker_id, state.processes)
+            except BaseException as exc:  # noqa: BLE001 - worker boundary
+                state.record_error(exc)
+                workforce.broadcast_pills(state.processes)
+            finally:
+                state.meter.deactivate(worker_id)
+
+        for index in range(state.processes):
+            state.meter.activate(f"dyn-{index}")
+        timeout = state.options.get("join_timeout", 300.0)
+        # Feed stage on its own thread: a blocked input iterable must not
+        # pin the driver -- on cancel the workers unwind and the stuck
+        # feeder is abandoned (bounded join below).
+        feeder = threading.Thread(
+            target=workforce.attach_feed,
+            name=f"feed-{state.graph.name}",
+            daemon=True,
+        )
+        try:
+            handles = [
+                pool.apply_async(run_worker, (index,))
+                for index in range(state.processes)
+            ]
+            feeder.start()
+            for index, handle in enumerate(handles):
+                handle.wait(timeout=timeout)
+                if not handle.ready():
+                    state.record_error(
+                        TimeoutError(f"worker dyn-{index} did not finish in {timeout}s")
+                    )
+                    break
+        finally:
+            if own_pool:
+                pool.close()
+                pool.join(timeout=5.0)
+            if feeder.ident is not None:
+                # A cancelled job abandons a still-blocked feeder
+                # immediately; otherwise give it a bounded grace period.
+                feeder.join(timeout=0.1 if state.cancelled() else 5.0)
+                if feeder.is_alive() and not state.cancelled():
+                    state.record_error(
+                        TimeoutError("live input feeder did not finish")
+                    )
         return None

@@ -37,11 +37,22 @@ from repro.mappings.base import (
     resolve_batch_size,
 )
 from repro.mappings.registry import Capabilities, register_mapping
-from repro.runtime.queues import BatchingBuffer, CloseableQueue, Empty, batch_items
+from repro.runtime.queues import (
+    POISON_PILL,
+    BatchingBuffer,
+    CloseableQueue,
+    Empty,
+    batch_items,
+)
+from repro.runtime.workers import WorkerPool
 
 #: Message tags on instance queues.
 _DATA = "data"
 _PILL = "pill"
+
+
+class _WorkerCancelled(BaseException):
+    """Internal: a streaming worker observed the job's cancel flag."""
 
 
 @register_mapping(
@@ -49,15 +60,28 @@ _PILL = "pill"
         stateful=True,
         batching=True,
         fusion=True,
+        streaming=True,
         static_allocation=True,
         description="Static Multiprocessing baseline (one process per instance)",
     )
 )
 class MultiMapping(Mapping):
-    """Static one-instance-per-process enactment."""
+    """Static one-instance-per-process enactment.
+
+    Streaming submissions give every *source* instance a private input
+    channel fed round-robin by the live :class:`~repro.mappings.base.
+    LiveFeed`; the channel's poison pill (sent at ``close_input``) plays
+    the role the exhausted input share plays in the one-shot path, after
+    which the usual counted-pill termination cascades downstream.  Workers
+    run on the session's warm :class:`WorkerPool` (or an ephemeral one),
+    poll a cancel flag, and on cancellation still close their downstream
+    ports so no peer blocks on a dead producer.
+    """
 
     name = "multi"
     supports_stateful = True
+    supports_streaming = True
+    wants_pool = True
 
     def _enact(self, state: EnactmentState) -> Optional[ScalingTrace]:
         graph = state.graph
@@ -153,17 +177,28 @@ class MultiMapping(Mapping):
             ):
                 deliver(delivery.dst, delivery.dst_index, (_DATA, delivery.dst_port, marshal(delivery.data)))
 
-        def split_inputs(items: List[Dict[str, Any]], count: int) -> List[List[Dict[str, Any]]]:
-            shares: List[List[Dict[str, Any]]] = [[] for _ in range(count)]
-            for i, item in enumerate(items):
-                shares[i % count].append(item)
-            return shares
-
+        streaming = state.streaming
         root_shares: Dict[Tuple[str, int], List[Dict[str, Any]]] = {}
-        for root, items in state.provided.items():
-            shares = split_inputs(items, allocation[root])
-            for idx, share in enumerate(shares):
-                root_shares[(root, idx)] = share
+        channels: Dict[Tuple[str, int], CloseableQueue] = {}
+        if streaming:
+            # Source instances read from private live-input channels instead
+            # of pre-split shares; the feed round-robins across instances
+            # exactly as split_inputs does below.
+            for root in state.provided:
+                for idx in range(allocation[root]):
+                    channels[(root, idx)] = CloseableQueue()
+        else:
+
+            def split_inputs(items: List[Dict[str, Any]], count: int) -> List[List[Dict[str, Any]]]:
+                shares: List[List[Dict[str, Any]]] = [[] for _ in range(count)]
+                for i, item in enumerate(items):
+                    shares[i % count].append(item)
+                return shares
+
+            for root, items in state.provided.items():
+                shares = split_inputs(items, allocation[root])
+                for idx, share in enumerate(shares):
+                    root_shares[(root, idx)] = share
 
         def worker(pe_name: str, index: int) -> None:
             worker_id = f"{pe_name}.{index}"
@@ -216,6 +251,140 @@ class MultiMapping(Mapping):
             finally:
                 state.meter.deactivate(worker_id)
 
+        def worker_streaming(pe_name: str, index: int) -> None:
+            """Live-input variant: channel-fed sources, cancel-aware loops."""
+            worker_id = f"{pe_name}.{index}"
+            cancelled = state.control.cancelled
+            poll = state.options.get("stream_poll", 0.05)
+            deliver, flush_outbox, poll_outbox = make_deliver()
+            try:
+                instance = instantiate(graph.pe(pe_name), index, allocation[pe_name], state.ctx)
+                instance.preprocess()
+                channel = channels.get((pe_name, index))
+                if channel is not None:
+                    while True:
+                        if cancelled.is_set():
+                            raise _WorkerCancelled()
+                        try:
+                            item = channel.get(timeout=poll)
+                        except Empty:
+                            if poll_outbox is not None:
+                                poll_outbox()
+                            continue
+                        if item is POISON_PILL:
+                            break
+                        emissions = instance._invoke(item)
+                        state.counters.inc("tasks")
+                        route_out(pe_name, index, emissions, deliver)
+                remaining = dict(expected_pills[(pe_name, index)])
+                queue = queues[(pe_name, index)]
+                while any(v > 0 for v in remaining.values()):
+                    if cancelled.is_set():
+                        raise _WorkerCancelled()
+                    try:
+                        item = queue.get(timeout=poll)
+                    except Empty:
+                        if poll_outbox is not None:
+                            poll_outbox()
+                        continue
+                    for tag, port, payload in batch_items(item):
+                        if tag == _PILL:
+                            remaining[port] -= 1
+                            continue
+                        emissions = instance._invoke({port: payload})
+                        state.counters.inc("tasks")
+                        route_out(pe_name, index, emissions, deliver)
+                route_out(pe_name, index, instance._flush_postprocess(), deliver)
+                flush_outbox()
+                broadcast_pills(pe_name)
+            except _WorkerCancelled:
+                # Abandon in-flight data, but still close downstream so no
+                # peer blocks on a producer that will never finish.
+                try:
+                    broadcast_pills(pe_name)
+                except BaseException as exc:  # pragma: no cover
+                    state.record_error(exc)
+            except BaseException as exc:  # noqa: BLE001 - worker boundary
+                state.record_error(exc)
+                try:
+                    flush_outbox()
+                    broadcast_pills(pe_name)
+                except BaseException as cleanup_exc:  # pragma: no cover
+                    state.record_error(cleanup_exc)
+            finally:
+                state.meter.deactivate(worker_id)
+
+        timeout = state.options.get("join_timeout", 300.0)
+        # Metered from launch initiation, not first schedule: the spawn
+        # stagger is a substrate artifact, and a static process is active
+        # from launch to termination (accounting module docs).
+        for name, idx in concrete.all_instances():
+            state.meter.activate(f"{name}.{idx}")
+
+        if streaming:
+            pool = state.pool
+            own_pool = pool is None
+            if own_pool:
+                pool = WorkerPool(state.processes, name=f"multi-{graph.name}")
+            try:
+                handles = [
+                    pool.apply_async(worker_streaming, (name, idx))
+                    for name, idx in concrete.all_instances()
+                ]
+                # The *feed* stage: drain initial inputs into the live
+                # channels (lazily, while workers already consume), then
+                # forward sends until close_input pills the channels.
+                rr: Dict[str, int] = {}
+
+                def feed_sink(root: str, item: Dict[str, Any]) -> None:
+                    index = rr.get(root, 0)
+                    rr[root] = index + 1
+                    channels[(root, index % allocation[root])].put(item)
+                    state.counters.inc("stream_inputs")
+
+                def feed_close() -> None:
+                    for channel in channels.values():
+                        channel.close(1)
+
+                def run_feed() -> None:
+                    try:
+                        state.feed.attach(feed_sink, feed_close)
+                    except BaseException as exc:  # noqa: BLE001 - feed boundary
+                        # A failing input iterable must not strand the
+                        # workers: close the channels so they drain out, and
+                        # surface the error through the normal error path.
+                        state.record_error(exc)
+                        feed_close()
+
+                # The feed gets its own thread so a *blocked* input iterable
+                # cannot pin the driver: on cancel the workers unwind and
+                # the stuck feeder is abandoned (bounded join below).
+                feeder = threading.Thread(
+                    target=run_feed, name=f"feed-{graph.name}", daemon=True
+                )
+                feeder.start()
+                for (name, idx), handle in zip(concrete.all_instances(), handles):
+                    handle.wait(timeout=timeout)
+                    if not handle.ready():
+                        state.record_error(
+                            TimeoutError(
+                                f"worker multi-{name}.{idx} did not finish in {timeout}s"
+                            )
+                        )
+                        break
+                # A cancelled job abandons a still-blocked feeder
+                # immediately; otherwise give it a bounded grace period.
+                feeder.join(timeout=0.1 if state.cancelled() else 5.0)
+                if feeder.is_alive() and not state.cancelled():
+                    state.record_error(
+                        TimeoutError("live input feeder did not finish")
+                    )
+            finally:
+                if own_pool:
+                    pool.close()
+                    pool.join(timeout=5.0)
+            return None
+
         threads = [
             threading.Thread(
                 target=worker,
@@ -225,14 +394,8 @@ class MultiMapping(Mapping):
             )
             for name, idx in concrete.all_instances()
         ]
-        # Metered from launch initiation, not first schedule: the spawn
-        # stagger is a thread-substrate artifact, and a static process is
-        # active from launch to termination (accounting module docs).
-        for name, idx in concrete.all_instances():
-            state.meter.activate(f"{name}.{idx}")
         for thread in threads:
             thread.start()
-        timeout = state.options.get("join_timeout", 300.0)
         for thread in threads:
             thread.join(timeout=timeout)
             if thread.is_alive():

@@ -61,6 +61,13 @@ class Capabilities:
         third-party backends that bypass the shared enactment path --
         ``fuse=True`` on such a mapping is rejected rather than silently
         ignored (``fuse="auto"`` skips it instead).
+    streaming:
+        Runs the live streaming path of :meth:`repro.mappings.base.
+        Mapping.submit`: tuples sent through a :class:`repro.jobs.Job`
+        enter the *running* workflow immediately, and unbound sources stay
+        live until ``close_input``.  Mappings without it still accept
+        submissions -- ingestion is buffered and enactment starts when the
+        input closes (results stream out either way).
     static_allocation:
         Uses the static partitioning rule, which imposes a per-graph
         process floor (one process per PE instance).
@@ -77,6 +84,7 @@ class Capabilities:
     recoverable: bool = False
     batching: bool = False
     fusion: bool = False
+    streaming: bool = False
     static_allocation: bool = False
     min_processes: int = 1
     description: str = ""
@@ -124,6 +132,7 @@ def register_mapping(
             caps = Capabilities(
                 stateful=bool(getattr(cls, "supports_stateful", True)),
                 requires_redis=bool(getattr(cls, "requires_redis", False)),
+                streaming=bool(getattr(cls, "supports_streaming", False)),
                 description=doc_lines[0] if doc_lines else "",
             )
         if caps.stateful != bool(getattr(cls, "supports_stateful", True)):
@@ -135,6 +144,11 @@ def register_mapping(
             raise ValueError(
                 f"mapping {name!r}: Capabilities.requires_redis="
                 f"{caps.requires_redis} contradicts {cls.__name__}.requires_redis"
+            )
+        if caps.streaming != bool(getattr(cls, "supports_streaming", False)):
+            raise ValueError(
+                f"mapping {name!r}: Capabilities.streaming={caps.streaming} "
+                f"contradicts {cls.__name__}.supports_streaming"
             )
         _REGISTRY[name] = (cls, caps)
         cls.capabilities = caps

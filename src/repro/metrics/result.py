@@ -68,6 +68,25 @@ class RunResult:
     def as_row(self) -> Tuple[str, int, float, float]:
         return (self.mapping, self.processes, self.runtime, self.process_time)
 
+    def summary(self) -> Dict[str, Any]:
+        """Machine-readable run summary (``repro run --json``).
+
+        Everything scripting/CI consumers typically key on -- identity,
+        timings, counters and per-port output *sizes* (not the data units
+        themselves, which may not be JSON-serializable).
+        """
+        return {
+            "mapping": self.mapping,
+            "workflow": self.workflow,
+            "processes": self.processes,
+            "runtime": self.runtime,
+            "process_time": self.process_time,
+            "counters": dict(self.counters),
+            "outputs": {key: len(values) for key, values in self.outputs.items()},
+            "total_outputs": self.total_outputs(),
+            "pe_times": dict(self.pe_times),
+        }
+
     def __repr__(self) -> str:
         return (
             f"RunResult({self.mapping}, {self.workflow}, p={self.processes}, "

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -12,6 +14,18 @@ class TestCliList:
         assert "galaxy" in out
         assert "dyn_auto_multi" in out
         assert "fig08" in out
+
+    def test_list_has_stream_column(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "stream" in out
+        # multi runs the live streaming path, simple does not.
+        multi_row = next(line for line in out.splitlines()
+                         if line.strip().startswith("multi "))
+        simple_row = next(line for line in out.splitlines()
+                          if line.strip().startswith("simple "))
+        assert multi_row.split()[8] == "yes"
+        assert simple_row.split()[8] == "no"
 
 
 class TestCliRun:
@@ -53,6 +67,47 @@ class TestCliRun:
         )
         assert code == 0
         assert "auto-scaler" in capsys.readouterr().out
+
+    def test_run_json_summary(self, capsys):
+        code = main(
+            [
+                "run", "galaxy",
+                "--mapping", "dyn_multi",
+                "--processes", "4",
+                "--time-scale", "0.002",
+                "--json",
+            ]
+        )
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["mapping"] == "dyn_multi"
+        assert summary["processes"] == 4
+        assert summary["outputs"] == {"internalExtinction.output": 100}
+        assert summary["total_outputs"] == 100
+        assert summary["counters"]["tasks"] > 0
+        assert summary["runtime"] > 0
+        assert summary["process_time"] > 0
+
+    def test_run_stream_prints_results_as_they_arrive(self, capsys):
+        code = main(
+            [
+                "run", "galaxy",
+                "--mapping", "dyn_auto_multi",
+                "--processes", "4",
+                "--time-scale", "0.002",
+                "--stream",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("-> internalExtinction.output:") == 100
+        assert "streamed     = 100 data units" in out
+        assert "live ingestion" in out
+        assert "runtime" in out
+
+    def test_stream_and_json_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            main(["run", "galaxy", "--stream", "--json"])
 
     def test_bad_mapping_rejected(self):
         with pytest.raises(SystemExit):

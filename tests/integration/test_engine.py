@@ -113,6 +113,81 @@ class TestEngineBasics:
         assert tweaked.config.options["session_chunk"] == 8
         assert tweaked.config.processes == 3
 
+    def test_with_options_splits_config_fields_from_mapping_options(self):
+        """Every RunConfig field lands on the config; everything else on
+        options -- in one call mixing both."""
+        engine = Engine(mapping="dyn_auto_multi", processes=2)
+        tweaked = engine.with_options(
+            processes=6, time_scale=0.5, seed=3, min_queue=1, scale_interval=0.2
+        )
+        assert tweaked.config.processes == 6
+        assert tweaked.config.time_scale == 0.5
+        assert tweaked.config.seed == 3
+        assert tweaked.config.options == {"min_queue": 1, "scale_interval": 0.2}
+        # The source engine is untouched.
+        assert engine.config.processes == 2
+        assert engine.config.options == {}
+
+    def test_with_options_dict_merges_over_existing(self):
+        """options= merges with (and keyword options win over) the
+        inherited mapping options."""
+        engine = Engine(mapping="dyn_auto_multi", session_chunk=16, min_queue=2)
+        tweaked = engine.with_options(options={"min_queue": 5}, session_chunk=4)
+        assert tweaked.config.options == {"session_chunk": 4, "min_queue": 5}
+
+    def test_with_options_derived_engine_has_fresh_caches(self):
+        engine = Engine(mapping="simple", time_scale=FAST)
+        engine.run(_stateless(), inputs=[1])
+        assert engine._engines  # parent cached its mapping engine
+        tweaked = engine.with_options(seed=1)
+        assert tweaked._engines == {}
+        assert tweaked._sessions == {}
+        assert tweaked._jobs == []
+        # And the derived engine works standalone.
+        assert tweaked.run(_stateless(), inputs=[2]).output("dbl") == [4]
+
+
+class TestClosedEngine:
+    """Closed-state checks are consistent across the whole facade."""
+
+    def _closed_engine(self):
+        engine = Engine(mapping="simple", time_scale=FAST)
+        engine.close()
+        return engine
+
+    def test_run_rejected(self):
+        with pytest.raises(RuntimeError, match="closed"):
+            self._closed_engine().run(_stateless(), inputs=[1])
+
+    def test_submit_rejected(self):
+        with pytest.raises(RuntimeError, match="closed"):
+            self._closed_engine().submit(_stateless(), inputs=[1])
+
+    def test_resolve_mapping_rejected(self):
+        """Regression: resolve_mapping() used to keep working after close()."""
+        with pytest.raises(RuntimeError, match="closed"):
+            self._closed_engine().resolve_mapping(_stateless())
+
+    def test_with_options_rejected(self):
+        """Regression: with_options() used to keep working after close()."""
+        with pytest.raises(RuntimeError, match="closed"):
+            self._closed_engine().with_options(processes=2)
+
+    def test_close_is_idempotent(self):
+        engine = Engine(mapping="simple", time_scale=FAST)
+        engine.close()
+        engine.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            engine.run(_stateless(), inputs=[1])
+
+    def test_close_tears_down_warm_sessions(self):
+        engine = Engine(mapping="dyn_auto_multi", processes=2, time_scale=FAST)
+        engine.submit(_stateless(), inputs=[1]).wait(timeout=10.0)
+        deployment = engine._sessions["dyn_auto_multi"].deployment
+        assert deployment.pool is not None
+        engine.close()
+        assert deployment.pool is None  # torn down
+
 
 class TestAutoSelection:
     def test_auto_stateless(self):

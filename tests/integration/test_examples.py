@@ -17,6 +17,7 @@ EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
         ("seismic_xcorr.py", "strongest station pairs"),
         ("sentiment_news.py", "top-3 happiest states"),
         ("autoscaling_demo.py", "scaler iterations"),
+        ("streaming_session.py", "reused warm deployment: True"),
     ],
 )
 def test_example_runs(script, expected):

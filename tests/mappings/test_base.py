@@ -12,6 +12,7 @@ from repro.mappings.base import (
     ResultsCollector,
     dispatch_emissions,
     instantiate,
+    iter_root_inputs,
     marshal,
     normalize_inputs,
 )
@@ -38,6 +39,35 @@ class TestNormalizeInputs:
     def test_list_of_values(self):
         provided = normalize_inputs(self._graph(), [10, 20])
         assert provided == {"src": [{"input": 10}, {"input": 20}]}
+
+    def test_arbitrary_iterable_accepted(self):
+        """Generators/ranges expand like lists on the eager path."""
+        provided = normalize_inputs(self._graph(), (i * 10 for i in (1, 2)))
+        assert provided == {"src": [{"input": 10}, {"input": 20}]}
+        provided = normalize_inputs(self._graph(), {"src": range(2)})
+        assert provided == {"src": [{"input": 0}, {"input": 1}]}
+
+    def test_lazy_form_defers_consumption(self):
+        """iter_root_inputs leaves the iterable untouched until iterated."""
+        pulled = []
+
+        def gen():
+            for i in range(3):
+                pulled.append(i)
+                yield i
+
+        streams = iter_root_inputs(self._graph(), gen())
+        assert pulled == []
+        assert list(streams["src"]) == [{"input": 0}, {"input": 1}, {"input": 2}]
+        assert pulled == [0, 1, 2]
+
+    def test_lazy_form_lists_every_root(self):
+        g = WorkflowGraph("two-roots")
+        g.connect(Emit(name="a"), "output", Collect(name="sink"), "input")
+        g.connect(Emit(name="b"), "output", Collect(name="sink2"), "input")
+        streams = iter_root_inputs(g, {"a": [1]})
+        assert sorted(streams) == ["a", "b"]
+        assert list(streams["b"]) == []
 
     def test_list_of_dicts_passthrough(self):
         provided = normalize_inputs(self._graph(), [{"input": 5}])

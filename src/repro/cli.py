@@ -12,6 +12,11 @@ Examples::
 
     # list what is available (includes the mapping capability table)
     repro list
+
+    # networked substrate: serve a RESP keyspace, join a run from outside
+    repro serve-redis --port 6399
+    repro run sentiment-scoring --mapping cluster_redis --address 127.0.0.1:6399
+    repro join 127.0.0.1:6399 repro:my-run --index 5
 """
 
 from __future__ import annotations
@@ -105,6 +110,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "companions on buffered port-to-port transport (0 = no linger)",
     )
     run_p.add_argument(
+        "--address",
+        default=None,
+        metavar="HOST:PORT",
+        help="RESP server address for networked mappings (cluster_redis); "
+        "omit to self-provision a loopback server",
+    )
+    run_p.add_argument(
         "--fuse",
         action=argparse.BooleanOptionalAction,
         default=False,
@@ -133,11 +145,31 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--repeats", type=int, default=1)
 
     sub.add_parser("list", help="list workflows, mappings and experiments")
+
+    serve_p = sub.add_parser(
+        "serve-redis",
+        help="serve the in-memory keyspace over RESP/TCP (redisim daemon)",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument(
+        "--port", type=int, default=6399, help="0 picks an ephemeral port"
+    )
+
+    join_p = sub.add_parser(
+        "join",
+        help="join a cluster_redis run as an external worker process",
+    )
+    join_p.add_argument("address", metavar="HOST:PORT")
+    join_p.add_argument("namespace", help="run namespace, e.g. repro:sentiment:ab12cd34")
+    join_p.add_argument(
+        "--index", type=int, default=0, help="worker index (names the consumer)"
+    )
     return parser
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     graph, inputs = _WORKFLOWS[args.workflow](args)
+    extra = {"address": args.address} if args.address else {}
     engine = Engine(
         mapping=args.mapping,
         platform=get_platform(args.platform),
@@ -148,6 +180,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         batch_linger_ms=args.batch_linger_ms,
         fuse=args.fuse,
         checkpoint_interval=args.checkpoint_interval,
+        **extra,
     )
     if args.json:
         # Machine-readable mode: the summary is the only stdout output.
@@ -232,6 +265,7 @@ _CAPABILITY_COLUMNS = (
     ("batch", lambda name, caps: "yes" if caps.batching else "no"),
     ("fuse", lambda name, caps: "yes" if caps.fusion else "no"),
     ("stream", lambda name, caps: "yes" if caps.streaming else "no"),
+    ("net", lambda name, caps: "yes" if caps.networked else "no"),
 )
 
 
@@ -258,9 +292,37 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_redis(args: argparse.Namespace) -> int:
+    from repro.net.server import RespTCPServer
+
+    server = RespTCPServer(host=args.host, port=args.port).start()
+    print(f"redisim serving RESP on {server.address} (Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+def _cmd_join(args: argparse.Namespace) -> int:
+    from repro.mappings.cluster import run_worker
+
+    print(f"joining {args.address} namespace={args.namespace} index={args.index}")
+    run_worker(args.address, args.namespace, args.index)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
-    handlers = {"run": _cmd_run, "bench": _cmd_bench, "list": _cmd_list}
+    handlers = {
+        "run": _cmd_run,
+        "bench": _cmd_bench,
+        "list": _cmd_list,
+        "serve-redis": _cmd_serve_redis,
+        "join": _cmd_join,
+    }
     return handlers[args.command](args)
 
 

@@ -435,6 +435,16 @@ class Engine:
                     f"stateful checkpointing; use hybrid_redis or drop the "
                     f"recovery options"
                 )
+        if "address" in merged:
+            # An address points workers at an external networked substrate
+            # (``repro serve-redis``); a non-networked mapping would ignore
+            # it and silently run in-process on a private keyspace.
+            caps = get_capabilities(name)
+            if not caps.networked:
+                raise UnsupportedFeatureError(
+                    f"a server address was given but mapping {name!r} is "
+                    f"not networked; use cluster_redis or drop address="
+                )
         engine = self._engine_for(name)
         deployment = self._lease(name, engine, procs) if warm else None
         try:

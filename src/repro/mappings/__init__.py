@@ -1,4 +1,4 @@
-"""Enactment mappings: the six techniques evaluated in the paper.
+"""Enactment mappings: the paper's techniques plus the networked substrate.
 
 ========================  ===================================================
 Name                      Description
@@ -10,6 +10,7 @@ Name                      Description
 ``dyn_redis``             Dynamic scheduling on a Redis Stream, Section 3.1.1.
 ``dyn_auto_redis``        + auto-scaling (idle-time strategy), Section 3.2.
 ``hybrid_redis``          Stateful-aware hybrid mapping, Section 3.1.2.
+``cluster_redis``         Distributed worker processes over RESP/TCP.
 ========================  ===================================================
 
 Mappings self-register through the capability-aware registry
@@ -36,7 +37,8 @@ from repro.mappings.registry import (
 )
 
 # Importing the implementation modules runs their @register_mapping
-# decorators, populating the registry with the built-in seven.
+# decorators, populating the registry with the built-ins.
+from repro.mappings.cluster import ClusterRedisMapping
 from repro.mappings.dyn_auto import DynAutoMultiMapping
 from repro.mappings.dynamic import DynMultiMapping
 from repro.mappings.hybrid import HybridRedisMapping
@@ -48,6 +50,7 @@ from repro.mappings.termination import TerminationPolicy
 
 __all__ = [
     "Capabilities",
+    "ClusterRedisMapping",
     "DynAutoMultiMapping",
     "DynAutoRedisMapping",
     "DynMultiMapping",

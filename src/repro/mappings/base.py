@@ -44,6 +44,7 @@ from repro.core.graph import WorkflowGraph
 from repro.core.pe import GenericPE
 from repro.jobs import Job, JobCancelledError
 from repro.metrics.result import RunResult
+from repro.net.server import RespTCPServer
 from repro.platforms.profiles import LAPTOP, PlatformProfile
 from repro.redisim.server import RedisServer
 from repro.runtime.accounting import ActivityMeter
@@ -308,12 +309,14 @@ class Deployment:
         platform: PlatformProfile,
         pool: Optional[WorkerPool] = None,
         redis_server: Optional[RedisServer] = None,
+        net_server: Optional[RespTCPServer] = None,
     ) -> None:
         self.mapping_name = mapping_name
         self.processes = processes
         self.platform = platform
         self.pool = pool
         self.redis_server = redis_server
+        self.net_server = net_server
         #: True once a later submission reuses this deployment (the
         #: spin-up it represents was skipped).
         self.warm = False
@@ -334,6 +337,11 @@ class Deployment:
         if pool is not None:
             pool.close()
             pool.join(timeout=timeout)
+        # The TCP front-end goes down before the keyspace it fronts, so
+        # connection threads unwind against a still-open server.
+        net_server, self.net_server = self.net_server, None
+        if net_server is not None:
+            net_server.close()
         server, self.redis_server = self.redis_server, None
         if server is not None:
             server.close()
@@ -344,6 +352,8 @@ class Deployment:
             parts.append("pool")
         if self.redis_server is not None:
             parts.append("redis")
+        if self.net_server is not None:
+            parts.append(f"tcp@{self.net_server.address}")
         return ", ".join(parts) + (", warm)" if self.warm else ", cold)")
 
 
@@ -542,6 +552,9 @@ class Mapping:
     #: Whether :meth:`deploy` pre-spawns a warm :class:`WorkerPool` for
     #: streaming submissions to run on.
     wants_pool = False
+    #: Whether :meth:`deploy` fronts the redisim server with a RESP TCP
+    #: listener so worker OS processes can join over the network.
+    wants_net = False
 
     # ------------------------------------------------------------- lifecycle
     def deploy(
@@ -562,8 +575,14 @@ class Mapping:
         if self.wants_pool:
             pool = WorkerPool(processes, name=f"{self.name}-warm")
         server = RedisServer() if self.requires_redis else None
+        net_server = None
+        if self.wants_net:
+            # Front the deployment's keyspace with a TCP listener on an
+            # ephemeral loopback port; worker processes join by address.
+            net_server = RespTCPServer(server).start()
         return Deployment(
-            self.name, processes, platform, pool=pool, redis_server=server
+            self.name, processes, platform,
+            pool=pool, redis_server=server, net_server=net_server,
         )
 
     def execute(
@@ -673,6 +692,12 @@ class Mapping:
             and self.requires_redis
         ):
             options.setdefault("redis_server", deployment.redis_server)
+        if (
+            deployment is not None
+            and deployment.net_server is not None
+            and self.wants_net
+        ):
+            options.setdefault("net_server", deployment.net_server)
         job = Job(mapping=self.name, workflow=graph.name, streaming=stream)
         tap = job._emit if results_channel else None
         if stream:

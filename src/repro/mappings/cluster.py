@@ -1,0 +1,469 @@
+"""Distributed Redis mapping (``cluster_redis``): worker OS processes over TCP.
+
+The networked end-state of the Redis mapping family: the same dynamic
+consumer-group scheduling as :mod:`dyn_redis <repro.mappings.redis_dynamic>`,
+but workers are separate **operating-system processes** that join the
+deployment by ``host:port`` and speak RESP to a
+:class:`~repro.net.server.RespTCPServer` (or genuine Redis) -- nothing in a
+worker shares memory with the coordinator.  This is the configuration the
+paper's architecture actually describes: dispel4py workers connecting to a
+Redis deployment over the network.
+
+How a run is assembled:
+
+- The **coordinator** (:meth:`ClusterRedisMapping._enact`) resolves a server
+  address -- an explicit ``address`` option (external ``repro serve-redis``
+  daemon), the warm deployment's TCP front-end, or a self-provisioned
+  loopback server -- seeds the task board, and publishes a pickled *jobspec*
+  (graph, platform, clock scale, seed, transport and termination tuning)
+  under ``{ns}:jobspec``.
+- Each **worker process** dials the address, fetches the jobspec, rebuilds
+  the run context (same ``Clock``/``ExecutionContext``/seed derivation as
+  every other mapping, so RNG streams -- and therefore outputs -- are
+  identical to ``dyn_redis``), and runs the standard fetch/process/ack loop
+  against the stream.  Results relay back through a ``{ns}:results`` list
+  the coordinator pumps into its collector; counters accumulate locally and
+  flush once at exit.
+- **Recovery** is inherited wholesale: a worker SIGKILLed mid-run leaves
+  its fetched-but-unacked entries in the group PEL, and starved survivors
+  adopt them via ``XAUTOCLAIM`` exactly as in-process workers do -- now
+  across a real socket and a real process boundary.  The ``crash_workers``
+  / ``crash_after`` options inject that failure deterministically for
+  tests.
+
+Because workers can start from a bare interpreter (``spawn``) or join from
+another machine entirely (``repro join ADDRESS NAMESPACE``), everything a
+worker needs travels through the keyspace; the only out-of-band inputs are
+the address, the namespace, and a worker index.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import signal
+import threading
+import time
+import uuid
+from typing import Any, Dict, List, Optional
+
+from repro.autoscale.trace import ScalingTrace
+from repro.core.concrete import ConcreteWorkflow
+from repro.core.context import ExecutionContext
+from repro.core.pe import GenericPE
+from repro.mappings.base import (
+    EnactmentState,
+    Mapping,
+    dispatch_emissions,
+    instantiate,
+    resolve_batch_size,
+)
+from repro.mappings.redis_tasks import PILL, RedisTaskBoard, reclaim_threshold_ms
+from repro.mappings.registry import Capabilities, register_mapping
+from repro.mappings.termination import TerminationPolicy
+from repro.net.client import SocketRedisClient
+from repro.net.server import RespTCPServer
+from repro.runtime.clock import Clock
+
+#: How long a worker polls for the jobspec before giving up (real seconds).
+JOBSPEC_TIMEOUT = 30.0
+
+
+def _dumps(value: Any) -> bytes:
+    return pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def _graph_pes(graph) -> List[GenericPE]:
+    """Every PE object a graph transports, including fused members."""
+    pes: List[GenericPE] = []
+    for pe in graph.pes.values():
+        pes.append(pe)
+        pes.extend(getattr(pe, "members", ()))
+    return pes
+
+
+def _dumps_jobspec(jobspec: Dict[str, Any]) -> bytes:
+    """Pickle the jobspec with run-context handles stripped from the PEs.
+
+    Abstract PEs carry a default :class:`ExecutionContext` whose clock
+    holds thread-locals -- meaningless across a process boundary and not
+    picklable.  Workers rebuild the real context from the jobspec and
+    ``instantiate`` re-binds ``ctx``/``rng`` on every copy (fused members
+    get theirs in ``FusedPE.preprocess``), so ``None`` placeholders are
+    never observed.  The originals are restored afterwards: the coordinator
+    shares these PE objects with the caller.
+    """
+    saved = [(pe, pe.ctx, pe.rng) for pe in _graph_pes(jobspec["graph"])]
+    try:
+        for pe, _, _ in saved:
+            pe.ctx = None
+            pe.rng = None
+        return _dumps(jobspec)
+    finally:
+        for pe, ctx, rng in saved:
+            pe.ctx = ctx
+            pe.rng = rng
+
+
+class _RelayCollector:
+    """Worker-side stand-in for :class:`ResultsCollector`.
+
+    Collected emissions cannot land in the coordinator's memory directly --
+    there is a process boundary in the way -- so each one is RPUSHed to the
+    run's results list, which the coordinator's pump thread drains into the
+    real collector.  The client pickles the ``(pe, port, value)`` triple
+    like any other list payload.
+    """
+
+    def __init__(self, client: SocketRedisClient, results_key: str) -> None:
+        self._client = client
+        self._key = results_key
+
+    def add(self, pe_name: str, port: str, value: Any) -> None:
+        self._client.rpush(self._key, (pe_name, port, value))
+
+
+class _ClusterWorker:
+    """One worker process's run state, rebuilt from the jobspec."""
+
+    def __init__(
+        self, client: SocketRedisClient, namespace: str, index: int, spec: Dict[str, Any]
+    ) -> None:
+        self.client = client
+        self.namespace = namespace
+        self.index = index
+        self.consumer = f"cluster-{index}"
+        self.spec = spec
+        self.graph = spec["graph"]
+        platform = spec["platform"]
+        self.clock = Clock(spec["time_scale"])
+        # Identical context derivation to every in-process mapping: same
+        # seed, same per-instance RNG streams, same core emulation -- the
+        # reason cluster outputs are byte-identical to dyn_redis.
+        self.ctx = ExecutionContext(
+            clock=self.clock,
+            cores=platform.make_core_limiter(),
+            seed=spec["seed"],
+            cpu_speed=platform.cpu_speed,
+        )
+        self.policy: TerminationPolicy = spec["policy"]
+        self.batch_size: int = spec["batch_size"]
+        self.reclaim_idle_ms: float = spec["reclaim_idle_ms"]
+        self.total_workers: int = spec["total_workers"]
+        self.crash_after: Optional[int] = (
+            spec["crash_after"] if index in spec["crash_workers"] else None
+        )
+        self.board = RedisTaskBoard(client, namespace=namespace)
+        self.concrete = ConcreteWorkflow.single_instance(self.graph)
+        self.collector = _RelayCollector(client, f"{namespace}:results")
+        self.copies: Dict[str, GenericPE] = {
+            name: instantiate(pe, 0, 1, self.ctx)
+            for name, pe in self.graph.pes.items()
+        }
+        for pe in self.copies.values():
+            pe.preprocess()
+        self.counters: Dict[str, int] = {"graph_copies": 1}
+        self._fetched_entries = 0
+
+    def _inc(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def flush_counters(self) -> None:
+        """One pipelined HINCRBY burst merging local counters into the run's."""
+        if not self.counters:
+            return
+        counters, self.counters = self.counters, {}
+        pipe = self.client.pipeline()
+        key = f"{self.namespace}:counters"
+        for name, amount in counters.items():
+            pipe._queue(["HINCRBY", key, name, amount])
+        pipe.execute()
+
+    def _maybe_crash(self, new_entries: int) -> None:
+        """Deterministic failure injection for the recovery tests.
+
+        Dies *after* fetching (entries are in this consumer's PEL) but
+        *before* processing or acking -- the exact window XAUTOCLAIM
+        recovery exists for.  SIGKILL, not an exception: nothing may run
+        cleanup, or the entries would be handed back gracefully and the
+        adoption path would go untested.
+        """
+        self._fetched_entries += new_entries
+        if self.crash_after is not None and self._fetched_entries > self.crash_after:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    def process_entry(self, entry_id: str, payload: Any) -> int:
+        tasks = self.board.entry_tasks(payload)
+        children = []
+        try:
+            for pe_name, port, item in tasks:
+                inputs = item if port is None else {port: item}
+                emissions = self.copies[pe_name]._invoke(inputs)
+                self._inc("tasks")
+                children.extend(
+                    (d.dst, d.dst_port, d.data)
+                    for d in dispatch_emissions(
+                        self.concrete, self.collector, pe_name, 0, emissions
+                    )
+                )
+        finally:
+            self.board.finish_entry(
+                entry_id, len(tasks), children, self.client,
+                batch_size=self.batch_size,
+            )
+        return len(tasks)
+
+    def is_terminated(self) -> bool:
+        if self.policy.unsafe_empty_check:
+            return self.board.backlog() == 0
+        return self.board.is_drained()
+
+    def broadcast_pills(self) -> None:
+        # Cross-process once-guard: a threading.Event cannot coordinate
+        # separate OS processes, but INCR can -- only the first worker to
+        # bump the counter broadcasts.
+        if self.client.incr(f"{self.namespace}:pills_sent") == 1:
+            self.board.put_pills(self.total_workers)
+            self._inc("pills", self.total_workers)
+
+    def reclaim_stale(self) -> int:
+        """Adopt entries stuck with dead workers (see redis_dynamic.py)."""
+        recovered = self.board.recover_stale(
+            self.consumer, self.client, min_idle_ms=self.reclaim_idle_ms
+        )
+        tasks = 0
+        for entry_id, payload in recovered:
+            self._inc("reclaimed")
+            tasks += self.process_entry(entry_id, payload)
+        return tasks
+
+    def run(self) -> None:
+        """The worker loop: structurally identical to ``RedisWorkforce``."""
+        base_block = max(1, int(self.clock.to_real(self.policy.poll_interval) * 1000))
+        empty_streak = 0
+        while True:
+            block_ms = min(base_block * (1 << min(empty_streak, 5)), 32 * base_block)
+            fetched = self.board.fetch(self.consumer, self.client, block_ms=block_ms)
+            if not fetched:
+                empty_streak += 1
+                self._inc("empty_polls")
+                if empty_streak >= self.policy.empty_retries:
+                    if self.is_terminated():
+                        self.broadcast_pills()
+                        return
+                    if (empty_streak - self.policy.empty_retries) % 8 == 0 and (
+                        self.reclaim_stale()
+                    ):
+                        empty_streak = 0
+                continue
+            empty_streak = 0
+            real_entries = sum(1 for _, payload in fetched if payload is not PILL)
+            self._maybe_crash(real_entries)
+            got_pill = False
+            for entry_id, payload in fetched:
+                if payload is PILL:
+                    self.board.ack(entry_id, self.client)
+                    got_pill = True
+                    continue
+                self.process_entry(entry_id, payload)
+            if got_pill:
+                return
+
+
+def run_worker(address: str, namespace: str, index: int) -> None:
+    """Join a cluster run as one worker process (also the ``repro join`` entry).
+
+    Dials ``address``, polls ``{namespace}:jobspec`` until the coordinator
+    publishes it, rebuilds the run context and consumes the task stream to
+    termination.  Module-level by necessity: the ``spawn`` start method
+    imports this module in a fresh interpreter and looks the target up by
+    qualified name.
+    """
+    client = SocketRedisClient(address=address)
+    try:
+        deadline = time.monotonic() + JOBSPEC_TIMEOUT
+        while True:
+            raw = client.get(f"{namespace}:jobspec")
+            if raw is not None:
+                break
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"no jobspec appeared under {namespace!r} at {address} "
+                    f"within {JOBSPEC_TIMEOUT}s"
+                )
+            time.sleep(0.05)
+        spec = pickle.loads(raw)
+        worker = _ClusterWorker(client, namespace, index, spec)
+        try:
+            worker.run()
+        finally:
+            worker.flush_counters()
+    except BaseException as exc:  # noqa: BLE001 - process boundary
+        try:
+            client.rpush(f"{namespace}:errors", f"worker {index}: {exc!r}")
+        finally:
+            client.close()
+        raise
+    client.close()
+
+
+@register_mapping(
+    Capabilities(
+        stateful=False,
+        dynamic=True,
+        requires_redis=True,
+        recoverable=True,
+        batching=True,
+        fusion=True,
+        networked=True,
+        description="Distributed worker processes over RESP/TCP",
+    )
+)
+class ClusterRedisMapping(Mapping):
+    """Distributed dynamic scheduling: worker processes joining over TCP."""
+
+    name = "cluster_redis"
+    supports_stateful = False
+    requires_redis = True
+    wants_net = True
+
+    def _enact(self, state: EnactmentState) -> Optional[ScalingTrace]:
+        options = state.options
+        policy = options.get("termination", TerminationPolicy())
+        batch_size = resolve_batch_size(options)
+        own_server: Optional[RespTCPServer] = None
+        address = options.get("address")
+        if address is None:
+            net_server = options.get("net_server")
+            if net_server is not None:
+                address = net_server.address
+            else:
+                # Cold run (Engine.run / bare execute): self-provision a
+                # loopback server.  It fronts the deployment's keyspace if
+                # one was provided, else owns a private one.
+                own_server = RespTCPServer(options.get("redis_server")).start()
+                address = own_server.address
+        namespace = options.get(
+            "namespace", f"repro:{state.graph.name}:{uuid.uuid4().hex[:8]}"
+        )
+        client = SocketRedisClient(address=address)
+        board = RedisTaskBoard(client, namespace=namespace)
+        board.setup()
+        results_key = f"{namespace}:results"
+        errors_key = f"{namespace}:errors"
+        run_keys = (
+            f"{namespace}:jobspec", results_key, errors_key,
+            f"{namespace}:pills_sent", f"{namespace}:counters",
+        )
+        client.delete(*run_keys)
+
+        # Seed roots before publishing the jobspec: a worker that joins
+        # early must find either no jobspec or a fully seeded board, never
+        # a board it could drain to "terminated" mid-seed.
+        tasks = [
+            (root, None, item)
+            for root, items in state.provided.items()
+            for item in items
+        ]
+        if batch_size > 1:
+            board.put_many(tasks, batch_size=batch_size)
+        else:
+            for task in tasks:
+                board.put(task)
+        state.counters.inc("seed_tasks", board.outstanding())
+
+        crash_workers = options.get("crash_workers", ())
+        jobspec = {
+            "graph": state.graph,
+            "platform": state.platform,
+            "time_scale": state.clock.time_scale,
+            "seed": state.ctx.seed,
+            "policy": policy,
+            "batch_size": batch_size,
+            "reclaim_idle_ms": reclaim_threshold_ms(options, state.clock),
+            "total_workers": state.processes,
+            "crash_after": options.get("crash_after"),
+            "crash_workers": tuple(crash_workers),
+        }
+        client.set(f"{namespace}:jobspec", _dumps_jobspec(jobspec))
+
+        # Results pump: drains the relay list into the local collector for
+        # the whole run, then keeps going until the list is empty *after*
+        # the stop flag is set (workers are dead by then, so an empty poll
+        # with the flag up means drained for good).
+        stop_pump = threading.Event()
+
+        def pump() -> None:
+            pump_client = SocketRedisClient(address=address)
+            try:
+                while True:
+                    hit = pump_client.blpop(results_key, timeout=0.2)
+                    if hit is not None:
+                        pe_name, port, value = hit[1]
+                        state.collector.add(pe_name, port, value)
+                    elif stop_pump.is_set():
+                        return
+            finally:
+                pump_client.close()
+
+        pump_thread = threading.Thread(target=pump, name="cluster-pump", daemon=True)
+        pump_thread.start()
+
+        mp = multiprocessing.get_context(options.get("start_method", "spawn"))
+        workers = [
+            mp.Process(
+                target=run_worker,
+                args=(address, namespace, index),
+                name=f"cluster-{index}",
+                daemon=True,
+            )
+            for index in range(state.processes)
+        ]
+        for index in range(len(workers)):
+            state.meter.activate(f"cluster-{index}")
+        try:
+            for proc in workers:
+                proc.start()
+            timeout = options.get("join_timeout", 300.0)
+            deadline = time.monotonic() + timeout
+            for index, proc in enumerate(workers):
+                proc.join(timeout=max(0.1, deadline - time.monotonic()))
+                if proc.is_alive():
+                    state.record_error(
+                        TimeoutError(
+                            f"worker {proc.name} did not finish in {timeout}s"
+                        )
+                    )
+                    proc.terminate()
+                    proc.join(timeout=5.0)
+                elif proc.exitcode == -signal.SIGKILL and index in crash_workers:
+                    # The injected crash: expected, recovery covers it.
+                    state.counters.inc("crashed_workers")
+                elif proc.exitcode != 0:
+                    state.record_error(
+                        RuntimeError(
+                            f"worker {proc.name} exited with code {proc.exitcode}"
+                        )
+                    )
+        finally:
+            for index in range(len(workers)):
+                state.meter.deactivate(f"cluster-{index}")
+            stop_pump.set()
+            pump_thread.join(timeout=10.0)
+        for message in client.lrange(errors_key, 0, -1):
+            state.record_error(RuntimeError(str(message)))
+        if not state.errors and not board.is_drained():
+            state.record_error(
+                RuntimeError(
+                    f"run ended with {board.outstanding()} task(s) outstanding"
+                )
+            )
+        for name, value in client.hgetall(f"{namespace}:counters").items():
+            state.counters.inc(name, int(value))
+        board.teardown()
+        client.delete(*run_keys)
+        client.close()
+        if own_server is not None:
+            own_server.close()
+        return None

@@ -68,6 +68,12 @@ class Capabilities:
         live until ``close_input``.  Mappings without it still accept
         submissions -- ingestion is buffered and enactment starts when the
         input closes (results stream out either way).
+    networked:
+        Workers are separate OS processes joining the deployment over a
+        real TCP socket (RESP protocol) instead of sharing the keyspace
+        in-process.  Networked mappings accept the ``address`` option
+        (``"host:port"`` of an external ``repro serve-redis`` daemon);
+        the engine rejects ``address`` on mappings without this flag.
     static_allocation:
         Uses the static partitioning rule, which imposes a per-graph
         process floor (one process per PE instance).
@@ -85,6 +91,7 @@ class Capabilities:
     batching: bool = False
     fusion: bool = False
     streaming: bool = False
+    networked: bool = False
     static_allocation: bool = False
     min_processes: int = 1
     description: str = ""

@@ -1,0 +1,39 @@
+"""Networked substrate: RESP over TCP for the redisim keyspace.
+
+Everything "distributed" in the repro was single-host until this package:
+the redisim server lives in-process and clients call it through a Python
+method table.  ``repro.net`` puts a real socket in the middle:
+
+- :mod:`repro.net.resp` -- an RESP2 wire codec (the protocol genuine Redis
+  speaks): encoder for command arrays and reply values, and an incremental
+  decoder that reassembles values from arbitrarily chunked socket reads.
+- :mod:`repro.net.server` -- :class:`~repro.net.server.RespTCPServer`, a
+  threaded TCP front-end mapping RESP command arrays onto an existing
+  :class:`~repro.redisim.server.RedisServer` keyspace, including the
+  blocking commands (``BLPOP``, blocking ``XREAD``/``XREADGROUP``) without
+  holding the keyspace lock across the wire.
+- :mod:`repro.net.client` -- :class:`~repro.net.client.SocketRedisClient`,
+  a drop-in for :class:`~repro.redisim.client.RedisClient` backed by a
+  pooled TCP connection with reconnect-and-backoff and per-pid fork
+  safety.  Because it speaks real RESP, it also runs against a genuine
+  Redis server (the ``real_redis`` parity lane), which keeps redisim
+  honest.
+
+The :mod:`cluster_redis mapping <repro.mappings.cluster>` builds on all
+three: worker OS processes join a coordinator by ``host:port`` and consume
+the task stream over the socket.
+"""
+
+from repro.net.client import ReplyError, SocketRedisClient
+from repro.net.resp import ErrorReply, ProtocolError, RespDecoder, encode_command
+from repro.net.server import RespTCPServer
+
+__all__ = [
+    "ErrorReply",
+    "ProtocolError",
+    "ReplyError",
+    "RespDecoder",
+    "RespTCPServer",
+    "SocketRedisClient",
+    "encode_command",
+]

@@ -1,0 +1,775 @@
+"""Threaded RESP-over-TCP front-end for the redisim keyspace.
+
+:class:`RespTCPServer` binds a listening socket, accepts one thread per
+connection, and maps decoded RESP command arrays onto an existing
+:class:`~repro.redisim.server.RedisServer` -- the same keyspace in-process
+clients use, so a deployment can serve both transports at once.
+
+Two properties matter for correctness:
+
+- **Blocking commands never hold the keyspace lock across the wire.**
+  ``BLPOP`` / ``BLMOVESEQ`` / blocking ``XREAD`` / ``XREADGROUP`` park in
+  the keyspace's condition variable (which releases the lock while
+  waiting) in bounded *slices*, re-issued until data arrives, the client's
+  deadline passes, or the server shuts down.  Slicing is what lets
+  :meth:`RespTCPServer.close` unwind a connection thread parked in an
+  infinite block -- nothing would otherwise ever wake it.
+- **``$``/last-ID cursors are resolved once.**  A sliced blocking ``XREAD``
+  on ``$`` must pin the concrete last stream ID up front
+  (:meth:`RedisServer.last_stream_id`); re-evaluating ``$`` per slice
+  would skip entries that arrived between slices.
+
+The command set is the one the mappings use: strings, lists, hashes, sets,
+streams, consumer groups, XAUTOCLAIM -- plus redisim's own extensions
+(``RPUSHSEQ``/``LRANGESEQ``/``BLMOVESEQ``, ``SNAPSHOT``/``RESTORE``,
+``XACKDECR``).  Pipelining needs no special handling: a connection's
+commands execute strictly in arrival order, which preserves the
+INCRBY-before-XADD ordering the termination drain proof relies on, and
+``XACKDECR`` keeps ack+decrement a single atomic command.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.net.resp import (
+    INCOMPLETE,
+    NIL_ARRAY,
+    ErrorReply,
+    ProtocolError,
+    RespDecoder,
+    SimpleString,
+    encode_reply,
+)
+from repro.redisim.errors import ConnectionError as RedisConnectionError
+from repro.redisim.errors import RedisError
+from repro.redisim.server import RedisServer
+
+OK = SimpleString("OK")
+
+#: Upper bound (seconds) one blocking-wait slice may hold; shutdown and
+#: client deadlines are both honoured within this granularity.
+BLOCK_SLICE = 0.05
+
+
+def _s(raw: bytes) -> str:
+    return raw.decode("utf-8")
+
+
+def _i(raw: bytes) -> int:
+    try:
+        return int(raw)
+    except ValueError:
+        raise RedisError(f"value is not an integer or out of range: {raw!r}") from None
+
+
+def _f(raw: bytes) -> float:
+    try:
+        return float(raw)
+    except ValueError:
+        raise RedisError(f"value is not a valid float: {raw!r}") from None
+
+
+def _value_bytes(value: Any) -> Any:
+    """Keyspace value -> wire value.  Values written over the wire are
+    bytes already; values written in-process may be ints (counters) or str."""
+    if value is None or isinstance(value, bytes):
+        return value
+    if isinstance(value, str):
+        return value.encode("utf-8")
+    if isinstance(value, (int, float)):
+        return str(value).encode("ascii")
+    raise RedisError(
+        f"value of type {type(value).__name__} is not representable on the "
+        f"wire (written by an in-process client?)"
+    )
+
+
+def _entries_reply(entries: List[Tuple[str, Dict[str, Any]]]) -> list:
+    """Stream entries -> RESP shape ``[[id, [field, value, ...]], ...]``."""
+    out = []
+    for entry_id, fields in entries:
+        flat: List[Any] = []
+        for field, value in fields.items():
+            flat.append(field)
+            flat.append(_value_bytes(value))
+        out.append([entry_id, flat])
+    return out
+
+
+def _streams_reply(reply: List[Tuple[str, list]]) -> Any:
+    if not reply:
+        return NIL_ARRAY
+    return [[key, _entries_reply(entries)] for key, entries in reply]
+
+
+def _flat_map(mapping: Dict[str, Any]) -> list:
+    flat: List[Any] = []
+    for field, value in mapping.items():
+        flat.append(field)
+        flat.append(value if isinstance(value, (int, list)) else _value_bytes(value))
+    return flat
+
+
+class _Connection:
+    """One accepted client connection served by its own thread."""
+
+    def __init__(self, server: "RespTCPServer", sock: socket.socket) -> None:
+        self.server = server
+        self.sock = sock
+        self.alive = True
+
+    def close(self) -> None:
+        self.alive = False
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def run(self) -> None:
+        decoder = RespDecoder()
+        try:
+            while self.alive and not self.server._stopping.is_set():
+                try:
+                    data = self.sock.recv(65536)
+                except OSError:
+                    return
+                if not data:
+                    return
+                decoder.feed(data)
+                out: List[bytes] = []
+                quit_seen = False
+                while (command := decoder.decode()) is not INCOMPLETE:
+                    reply, quit_seen = self.server._dispatch(self, command)
+                    out.append(encode_reply(reply))
+                    if quit_seen:
+                        break
+                if out:
+                    try:
+                        self.sock.sendall(b"".join(out))
+                    except OSError:
+                        return
+                if quit_seen:
+                    return
+        except ProtocolError as exc:
+            try:
+                self.sock.sendall(encode_reply(ErrorReply(f"ERR protocol error: {exc}")))
+            except OSError:
+                pass
+        finally:
+            self.close()
+            self.server._forget(self)
+
+
+class RespTCPServer:
+    """A TCP server speaking RESP2 over an in-process redisim keyspace.
+
+    Parameters
+    ----------
+    keyspace:
+        The :class:`RedisServer` to front.  ``None`` creates a private one
+        that is closed together with this server (standalone daemon mode,
+        ``repro serve-redis``); a provided keyspace is left open on close
+        so in-process clients can keep using it.
+    host / port:
+        Bind address; port ``0`` picks a free ephemeral port (tests).
+    """
+
+    def __init__(
+        self,
+        keyspace: Optional[RedisServer] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.keyspace = keyspace if keyspace is not None else RedisServer()
+        self._owns_keyspace = keyspace is None
+        self._host = host
+        self._port = port
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._stopping = threading.Event()
+        self._conns: Dict[int, _Connection] = {}
+        self._conns_lock = threading.Lock()
+        self._commands = _build_command_table(self)
+
+    # ------------------------------------------------------------- lifecycle
+    def start(self) -> "RespTCPServer":
+        if self._listener is not None:
+            return self
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self._host, self._port))
+        listener.listen(64)
+        # Bounded accept timeout so the accept loop notices shutdown.
+        listener.settimeout(0.2)
+        self._listener = listener
+        self._port = listener.getsockname()[1]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"resp-accept-{self._port}", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    @property
+    def host(self) -> str:
+        return self._host
+
+    @property
+    def port(self) -> int:
+        return self._port
+
+    @property
+    def address(self) -> str:
+        """``host:port`` as workers and clients expect it."""
+        return f"{self._host}:{self._port}"
+
+    def close(self) -> None:
+        """Stop accepting, unwind every connection thread, release the port.
+
+        Closes the keyspace too when this server owns it (standalone mode);
+        a fronted external keyspace stays open.  Idempotent.
+        """
+        if self._stopping.is_set():
+            return
+        self._stopping.set()
+        # Wake blocked keyspace waits so sliced blockers re-check _stopping
+        # immediately instead of sleeping out their current slice.
+        with self.keyspace._cond:
+            self.keyspace._cond.notify_all()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        self.drop_connections()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+        if self._owns_keyspace:
+            self.keyspace.close()
+
+    def drop_connections(self) -> None:
+        """Forcibly close every live client connection (chaos/testing hook).
+
+        Clients with reconnect-and-backoff recover transparently; this is
+        how the reconnect path is exercised deterministically.
+        """
+        with self._conns_lock:
+            conns = list(self._conns.values())
+        for conn in conns:
+            conn.close()
+
+    def serve_forever(self, poll: float = 0.5) -> None:
+        """Block until :meth:`close` (daemon mode for ``repro serve-redis``)."""
+        self.start()
+        while not self._stopping.is_set():
+            time.sleep(poll)
+
+    # ------------------------------------------------------------ accept loop
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                sock, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            conn = _Connection(self, sock)
+            with self._conns_lock:
+                self._conns[id(conn)] = conn
+            threading.Thread(
+                target=conn.run, name=f"resp-conn-{self._port}", daemon=True
+            ).start()
+
+    def _forget(self, conn: _Connection) -> None:
+        with self._conns_lock:
+            self._conns.pop(id(conn), None)
+
+    # -------------------------------------------------------------- dispatch
+    def _dispatch(self, conn: _Connection, command: Any) -> Tuple[Any, bool]:
+        """Run one decoded command array; returns ``(reply, close_after)``."""
+        if not isinstance(command, list) or not command:
+            return ErrorReply("ERR protocol error: expected a command array"), False
+        if not all(isinstance(part, bytes) for part in command):
+            return ErrorReply("ERR protocol error: command of bulk strings expected"), False
+        name = command[0].decode("ascii", "replace").upper()
+        if name == "QUIT":
+            return OK, True
+        handler = self._commands.get(name)
+        if handler is None:
+            return ErrorReply(f"ERR unknown command {name!r}"), False
+        try:
+            return handler(command[1:]), False
+        except RedisConnectionError:
+            return ErrorReply("ERR redisim keyspace is closed"), True
+        except RedisError as exc:
+            message = str(exc)
+            head = message.split(" ", 1)[0]
+            if not head.isupper() or not head.isalpha():
+                message = f"ERR {message}"
+            return ErrorReply(message), False
+        except ProtocolError as exc:
+            return ErrorReply(f"ERR protocol error: {exc}"), False
+
+    # --------------------------------------------------------- blocking waits
+    def _sliced_block(
+        self,
+        attempt: Callable[[float], Any],
+        timeout: Optional[float],
+        empty: Any,
+    ) -> Any:
+        """Run a keyspace blocking call in bounded slices.
+
+        ``attempt(seconds)`` issues the underlying blocking command with a
+        short timeout; any truthy result wins.  ``timeout`` is the client's
+        total budget in seconds (``None`` = block forever).  The keyspace
+        lock is only ever held inside ``attempt`` -- never across slices,
+        and never while bytes travel on the wire.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not self._stopping.is_set():
+            slice_s = BLOCK_SLICE
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return empty
+                slice_s = min(slice_s, remaining)
+            hit = attempt(max(slice_s, 0.001))
+            if hit:
+                return hit
+        return empty
+
+
+def _build_command_table(server: RespTCPServer) -> Dict[str, Callable]:
+    """The RESP command name -> handler table over ``server.keyspace``."""
+    ks = server.keyspace
+
+    def arity(args: List[bytes], at_least: int, name: str) -> None:
+        if len(args) < at_least:
+            raise RedisError(f"wrong number of arguments for '{name.lower()}' command")
+
+    # ---------------------------------------------------------------- generic
+    def ping(args: List[bytes]) -> Any:
+        return SimpleString(_s(args[0])) if args else SimpleString("PONG")
+
+    def echo(args: List[bytes]) -> Any:
+        arity(args, 1, "ECHO")
+        return args[0]
+
+    def flushall(args: List[bytes]) -> Any:
+        ks.flushall()
+        return OK
+
+    def dbsize(args: List[bytes]) -> Any:
+        return ks.dbsize()
+
+    def keys(args: List[bytes]) -> Any:
+        arity(args, 1, "KEYS")
+        return [k.encode() for k in ks.keys(_s(args[0]))]
+
+    def type_(args: List[bytes]) -> Any:
+        arity(args, 1, "TYPE")
+        return SimpleString(ks.type(_s(args[0])))
+
+    def delete(args: List[bytes]) -> Any:
+        arity(args, 1, "DEL")
+        return ks.delete(*(_s(a) for a in args))
+
+    def exists(args: List[bytes]) -> Any:
+        arity(args, 1, "EXISTS")
+        return ks.exists(*(_s(a) for a in args))
+
+    # ---------------------------------------------------------------- strings
+    def set_(args: List[bytes]) -> Any:
+        arity(args, 2, "SET")
+        ks.set(_s(args[0]), args[1])
+        return OK
+
+    def get(args: List[bytes]) -> Any:
+        arity(args, 1, "GET")
+        return _value_bytes(ks.get(_s(args[0])))
+
+    def incrby(args: List[bytes]) -> Any:
+        arity(args, 2, "INCRBY")
+        return ks.incrby(_s(args[0]), _i(args[1]))
+
+    def incr(args: List[bytes]) -> Any:
+        arity(args, 1, "INCR")
+        return ks.incrby(_s(args[0]), 1)
+
+    def decrby(args: List[bytes]) -> Any:
+        arity(args, 2, "DECRBY")
+        return ks.decrby(_s(args[0]), _i(args[1]))
+
+    def decr(args: List[bytes]) -> Any:
+        arity(args, 1, "DECR")
+        return ks.decrby(_s(args[0]), 1)
+
+    # ------------------------------------------------------------------ lists
+    def lpush(args: List[bytes]) -> Any:
+        arity(args, 2, "LPUSH")
+        return ks.lpush(_s(args[0]), *args[1:])
+
+    def rpush(args: List[bytes]) -> Any:
+        arity(args, 2, "RPUSH")
+        return ks.rpush(_s(args[0]), *args[1:])
+
+    def lpop(args: List[bytes]) -> Any:
+        arity(args, 1, "LPOP")
+        return _value_bytes(ks.lpop(_s(args[0])))
+
+    def rpop(args: List[bytes]) -> Any:
+        arity(args, 1, "RPOP")
+        return _value_bytes(ks.rpop(_s(args[0])))
+
+    def llen(args: List[bytes]) -> Any:
+        arity(args, 1, "LLEN")
+        return ks.llen(_s(args[0]))
+
+    def lrange(args: List[bytes]) -> Any:
+        arity(args, 3, "LRANGE")
+        return [_value_bytes(v) for v in ks.lrange(_s(args[0]), _i(args[1]), _i(args[2]))]
+
+    def ltrim(args: List[bytes]) -> Any:
+        arity(args, 3, "LTRIM")
+        ks.ltrim(_s(args[0]), _i(args[1]), _i(args[2]))
+        return OK
+
+    def blpop(args: List[bytes]) -> Any:
+        # BLPOP key [key ...] timeout -- Redis semantics: 0 blocks forever.
+        arity(args, 2, "BLPOP")
+        timeout = _f(args[-1])
+        key_names = [_s(a) for a in args[:-1]]
+        hit = server._sliced_block(
+            lambda s: ks.blpop(key_names, timeout=s),
+            None if timeout == 0 else timeout,
+            empty=None,
+        )
+        if hit is None:
+            return NIL_ARRAY
+        key, value = hit
+        return [key, _value_bytes(value)]
+
+    # -------------------------------------------- redisim sequenced lists
+    def rpushseq(args: List[bytes]) -> Any:
+        arity(args, 2, "RPUSHSEQ")
+        return ks.rpushseq(_s(args[0]), *args[1:])
+
+    def blmoveseq(args: List[bytes]) -> Any:
+        # BLMOVESEQ source destination timeout (0 blocks forever).
+        arity(args, 3, "BLMOVESEQ")
+        timeout = _f(args[2])
+        src, dst = _s(args[0]), _s(args[1])
+        hit = server._sliced_block(
+            lambda s: ks.blmove(src, dst, timeout=s),
+            None if timeout == 0 else timeout,
+            empty=None,
+        )
+        if hit is None:
+            return NIL_ARRAY
+        seq, value = hit
+        return [seq, _value_bytes(value)]
+
+    def lrangeseq(args: List[bytes]) -> Any:
+        arity(args, 3, "LRANGESEQ")
+        return [
+            [seq, _value_bytes(value)]
+            for seq, value in ks.lrange(_s(args[0]), _i(args[1]), _i(args[2]))
+        ]
+
+    def snapshot(args: List[bytes]) -> Any:
+        arity(args, 4, "SNAPSHOT")
+        return int(ks.snapshot(_s(args[0]), _s(args[1]), _i(args[2]), args[3]))
+
+    def restore(args: List[bytes]) -> Any:
+        arity(args, 2, "RESTORE")
+        hit = ks.restore(_s(args[0]), _s(args[1]))
+        if hit is None:
+            return NIL_ARRAY
+        seq, blob = hit
+        return [seq, _value_bytes(blob)]
+
+    # ----------------------------------------------------------------- hashes
+    def hset(args: List[bytes]) -> Any:
+        arity(args, 3, "HSET")
+        return ks.hset(_s(args[0]), _s(args[1]), args[2])
+
+    def hget(args: List[bytes]) -> Any:
+        arity(args, 2, "HGET")
+        return _value_bytes(ks.hget(_s(args[0]), _s(args[1])))
+
+    def hdel(args: List[bytes]) -> Any:
+        arity(args, 2, "HDEL")
+        return ks.hdel(_s(args[0]), *(_s(a) for a in args[1:]))
+
+    def hgetall(args: List[bytes]) -> Any:
+        arity(args, 1, "HGETALL")
+        flat: List[Any] = []
+        for field, value in ks.hgetall(_s(args[0])).items():
+            flat.append(field)
+            flat.append(_value_bytes(value))
+        return flat
+
+    def hlen(args: List[bytes]) -> Any:
+        arity(args, 1, "HLEN")
+        return ks.hlen(_s(args[0]))
+
+    def hincrby(args: List[bytes]) -> Any:
+        arity(args, 3, "HINCRBY")
+        return ks.hincrby(_s(args[0]), _s(args[1]), _i(args[2]))
+
+    # ------------------------------------------------------------------- sets
+    def sadd(args: List[bytes]) -> Any:
+        arity(args, 2, "SADD")
+        return ks.sadd(_s(args[0]), *args[1:])
+
+    def srem(args: List[bytes]) -> Any:
+        arity(args, 2, "SREM")
+        return ks.srem(_s(args[0]), *args[1:])
+
+    def smembers(args: List[bytes]) -> Any:
+        arity(args, 1, "SMEMBERS")
+        return sorted(_value_bytes(m) for m in ks.smembers(_s(args[0])))
+
+    def scard(args: List[bytes]) -> Any:
+        arity(args, 1, "SCARD")
+        return ks.scard(_s(args[0]))
+
+    def sismember(args: List[bytes]) -> Any:
+        arity(args, 2, "SISMEMBER")
+        return int(ks.sismember(_s(args[0]), args[1]))
+
+    # ---------------------------------------------------------------- streams
+    def xadd(args: List[bytes]) -> Any:
+        # XADD key [MAXLEN n] id field value [field value ...]
+        arity(args, 4, "XADD")
+        rest = list(args)
+        key = _s(rest.pop(0))
+        maxlen = None
+        if rest and rest[0].upper() == b"MAXLEN":
+            rest.pop(0)
+            if rest and rest[0] in (b"~", b"="):
+                rest.pop(0)
+            maxlen = _i(rest.pop(0))
+        entry_id = _s(rest.pop(0))
+        if not rest or len(rest) % 2:
+            raise RedisError("wrong number of arguments for 'xadd' command")
+        fields = {_s(rest[i]): rest[i + 1] for i in range(0, len(rest), 2)}
+        return ks.xadd(key, fields, entry_id=entry_id, maxlen=maxlen)
+
+    def xlen(args: List[bytes]) -> Any:
+        arity(args, 1, "XLEN")
+        return ks.xlen(_s(args[0]))
+
+    def xtrim(args: List[bytes]) -> Any:
+        arity(args, 2, "XTRIM")
+        rest = list(args)
+        key = _s(rest.pop(0))
+        if rest and rest[0].upper() == b"MAXLEN":
+            rest.pop(0)
+            if rest and rest[0] in (b"~", b"="):
+                rest.pop(0)
+        if not rest:
+            raise RedisError("wrong number of arguments for 'xtrim' command")
+        return ks.xtrim(key, _i(rest[0]))
+
+    def xrange(args: List[bytes]) -> Any:
+        arity(args, 3, "XRANGE")
+        rest = list(args)
+        key, min_id, max_id = _s(rest[0]), _s(rest[1]), _s(rest[2])
+        count = None
+        if len(rest) >= 5 and rest[3].upper() == b"COUNT":
+            count = _i(rest[4])
+        return _entries_reply(ks.xrange(key, min_id, max_id, count))
+
+    def _parse_read_options(
+        rest: List[bytes], name: str
+    ) -> Tuple[Optional[int], Optional[int], bool, Dict[str, str]]:
+        count = None
+        block_ms = None
+        noack = False
+        while rest and rest[0].upper() not in (b"STREAMS",):
+            word = rest.pop(0).upper()
+            if word == b"COUNT":
+                count = _i(rest.pop(0))
+            elif word == b"BLOCK":
+                block_ms = _i(rest.pop(0))
+            elif word == b"NOACK":
+                noack = True
+            else:
+                raise RedisError(f"syntax error in '{name}' near {word!r}")
+        if not rest or rest.pop(0).upper() != b"STREAMS":
+            raise RedisError(f"wrong number of arguments for '{name}' command")
+        if len(rest) % 2 or not rest:
+            raise RedisError(
+                f"unbalanced '{name}' list of streams: keys and IDs must pair up"
+            )
+        half = len(rest) // 2
+        streams = {_s(rest[i]): _s(rest[half + i]) for i in range(half)}
+        return count, block_ms, noack, streams
+
+    def xread(args: List[bytes]) -> Any:
+        arity(args, 3, "XREAD")
+        count, block_ms, _noack, streams = _parse_read_options(list(args), "xread")
+        # Resolve $ once: sliced waits must not re-evaluate it (see module
+        # docstring).  BLOCK 0 means block forever, as in Redis.
+        streams = {
+            key: ks.last_stream_id(key) if cursor == "$" else cursor
+            for key, cursor in streams.items()
+        }
+        if block_ms is None:
+            return _streams_reply(ks.xread(streams, count=count))
+        reply = server._sliced_block(
+            lambda s: ks.xread(streams, count=count, block_ms=int(s * 1000)),
+            None if block_ms == 0 else block_ms / 1000.0,
+            empty=[],
+        )
+        return _streams_reply(reply)
+
+    def xreadgroup(args: List[bytes]) -> Any:
+        # XREADGROUP GROUP g consumer [COUNT n] [BLOCK ms] [NOACK] STREAMS ...
+        arity(args, 6, "XREADGROUP")
+        rest = list(args)
+        if rest.pop(0).upper() != b"GROUP":
+            raise RedisError("syntax error: XREADGROUP must start with GROUP")
+        group, consumer = _s(rest.pop(0)), _s(rest.pop(0))
+        count, block_ms, noack, streams = _parse_read_options(rest, "xreadgroup")
+
+        def attempt(slice_s: float) -> Any:
+            return ks.xreadgroup(
+                group, consumer, streams, count=count,
+                block_ms=int(slice_s * 1000), noack=noack,
+            )
+
+        if block_ms is None:
+            reply = ks.xreadgroup(group, consumer, streams, count=count, noack=noack)
+        else:
+            reply = server._sliced_block(
+                attempt, None if block_ms == 0 else block_ms / 1000.0, empty=[]
+            )
+        # History reads (explicit cursor) legitimately return empty entry
+        # lists; preserve the [[key, []]] shape rather than nil.
+        if not reply and any(c != ">" for c in streams.values()):
+            reply = ks.xreadgroup(group, consumer, streams, count=count, noack=noack)
+        return _streams_reply(reply)
+
+    def xgroup(args: List[bytes]) -> Any:
+        arity(args, 2, "XGROUP")
+        sub = args[0].upper()
+        if sub == b"CREATE":
+            arity(args, 4, "XGROUP CREATE")
+            mkstream = any(a.upper() == b"MKSTREAM" for a in args[4:])
+            ks.xgroup_create(_s(args[1]), _s(args[2]), entry_id=_s(args[3]), mkstream=mkstream)
+            return OK
+        if sub == b"DESTROY":
+            arity(args, 3, "XGROUP DESTROY")
+            return ks.xgroup_destroy(_s(args[1]), _s(args[2]))
+        if sub == b"DELCONSUMER":
+            arity(args, 4, "XGROUP DELCONSUMER")
+            return ks.xgroup_delconsumer(_s(args[1]), _s(args[2]), _s(args[3]))
+        raise RedisError(f"unknown XGROUP subcommand {sub!r}")
+
+    def xack(args: List[bytes]) -> Any:
+        arity(args, 3, "XACK")
+        return ks.xack(_s(args[0]), _s(args[1]), *(_s(a) for a in args[2:]))
+
+    def xackdecr(args: List[bytes]) -> Any:
+        # XACKDECR key group entry_id counter_key amount (redisim extension).
+        arity(args, 5, "XACKDECR")
+        return ks.xackdecr(_s(args[0]), _s(args[1]), _s(args[2]), _s(args[3]), _i(args[4]))
+
+    def xpending(args: List[bytes]) -> Any:
+        arity(args, 2, "XPENDING")
+        rest = list(args)
+        key, group = _s(rest.pop(0)), _s(rest.pop(0))
+        if not rest:
+            summary = ks.xpending(key, group)
+            consumers = [
+                [name, str(count)] for name, count in sorted(summary["consumers"].items())
+            ]
+            return [
+                summary["pending"],
+                summary["min"],
+                summary["max"],
+                consumers or NIL_ARRAY,
+            ]
+        # Extended form: [IDLE ms] start end count [consumer]
+        min_idle_ms = None
+        if rest[0].upper() == b"IDLE":
+            rest.pop(0)
+            min_idle_ms = _f(rest.pop(0))
+        if len(rest) < 3:
+            raise RedisError("wrong number of arguments for 'xpending' command")
+        start, end, count = _s(rest.pop(0)), _s(rest.pop(0)), _i(rest.pop(0))
+        consumer = _s(rest.pop(0)) if rest else None
+        rows = ks.xpending_range(
+            key, group, start, end, count, consumer=consumer, min_idle_ms=min_idle_ms
+        )
+        return [
+            [
+                row["message_id"],
+                row["consumer"],
+                repr(float(row["time_since_delivered"])),
+                row["times_delivered"],
+            ]
+            for row in rows
+        ]
+
+    def xclaim(args: List[bytes]) -> Any:
+        arity(args, 5, "XCLAIM")
+        return _entries_reply(
+            ks.xclaim(
+                _s(args[0]), _s(args[1]), _s(args[2]), _f(args[3]),
+                [_s(a) for a in args[4:]],
+            )
+        )
+
+    def xautoclaim(args: List[bytes]) -> Any:
+        # XAUTOCLAIM key group consumer min-idle-time start [COUNT n]
+        arity(args, 5, "XAUTOCLAIM")
+        count = 100
+        if len(args) >= 7 and args[5].upper() == b"COUNT":
+            count = _i(args[6])
+        cursor, claimed = ks.xautoclaim(
+            _s(args[0]), _s(args[1]), _s(args[2]), _f(args[3]),
+            start=_s(args[4]), count=count,
+        )
+        return [cursor, _entries_reply(claimed)]
+
+    def xinfo(args: List[bytes]) -> Any:
+        arity(args, 2, "XINFO")
+        sub = args[0].upper()
+        if sub == b"STREAM":
+            return _flat_map(ks.xinfo_stream(_s(args[1])))
+        if sub == b"GROUPS":
+            return [_flat_map(row) for row in ks.xinfo_groups(_s(args[1]))]
+        if sub == b"CONSUMERS":
+            arity(args, 3, "XINFO CONSUMERS")
+            return [_flat_map(row) for row in ks.xinfo_consumers(_s(args[1]), _s(args[2]))]
+        raise RedisError(f"unknown XINFO subcommand {sub!r}")
+
+    return {
+        "PING": ping, "ECHO": echo, "FLUSHALL": flushall, "DBSIZE": dbsize,
+        "KEYS": keys, "TYPE": type_, "DEL": delete, "EXISTS": exists,
+        "SET": set_, "GET": get, "INCRBY": incrby, "INCR": incr,
+        "DECRBY": decrby, "DECR": decr,
+        "LPUSH": lpush, "RPUSH": rpush, "LPOP": lpop, "RPOP": rpop,
+        "LLEN": llen, "LRANGE": lrange, "LTRIM": ltrim, "BLPOP": blpop,
+        "RPUSHSEQ": rpushseq, "BLMOVESEQ": blmoveseq, "LRANGESEQ": lrangeseq,
+        "SNAPSHOT": snapshot, "RESTORE": restore,
+        "HSET": hset, "HGET": hget, "HDEL": hdel, "HGETALL": hgetall,
+        "HLEN": hlen, "HINCRBY": hincrby,
+        "SADD": sadd, "SREM": srem, "SMEMBERS": smembers, "SCARD": scard,
+        "SISMEMBER": sismember,
+        "XADD": xadd, "XLEN": xlen, "XTRIM": xtrim, "XRANGE": xrange,
+        "XREAD": xread, "XREADGROUP": xreadgroup, "XGROUP": xgroup,
+        "XACK": xack, "XACKDECR": xackdecr, "XPENDING": xpending,
+        "XCLAIM": xclaim, "XAUTOCLAIM": xautoclaim, "XINFO": xinfo,
+    }

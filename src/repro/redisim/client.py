@@ -22,6 +22,7 @@ benchmarks can report communication volume.
 
 from __future__ import annotations
 
+import os
 import pickle
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
@@ -143,13 +144,31 @@ class RedisClient:
         self._latency = op_latency
         self._clock = clock
         self._serialize = serialize
+        self._pid = os.getpid()
         self.ops = 0
 
     # ------------------------------------------------------------------ util
     def _charge(self) -> None:
+        # Per-pid guard (the SafeRedis pattern real clients use): a client
+        # inherited across fork() must reset per-process handles before its
+        # first command in the child, so spawn and fork behave identically.
+        if os.getpid() != self._pid:
+            self._on_fork()
+            self._pid = os.getpid()
         self.ops += 1
         if self._latency > 0 and self._clock is not None:
             self._clock.sleep(self._latency)
+
+    def _on_fork(self) -> None:
+        """Reset state that must not be shared with the parent process.
+
+        The in-process client holds no sockets, but the op counter is
+        per-connection accounting: a forked child starts its own tally
+        rather than double-counting the parent's.  Transports with real
+        per-process handles (see :class:`repro.net.client.
+        SocketRedisClient`'s pool) discard them at the same point.
+        """
+        self.ops = 0
 
     def _enc(self, value: Any) -> Any:
         return _dumps(value) if self._serialize else value

@@ -620,6 +620,20 @@ class RedisServer:
                     self._check_open()
                     return []
 
+    def last_stream_id(self, key: str) -> str:
+        """Current last generated ID of the stream at ``key`` (``0-0`` if absent).
+
+        The TCP front-end uses this to resolve an ``XREAD``'s ``$`` cursor
+        to a concrete ID *once* at command entry: its blocking waits are
+        sliced (so connection threads can unwind on shutdown), and
+        re-evaluating ``$`` per slice would skip every entry that arrived
+        between slices.
+        """
+        with self._lock:
+            self._count("last_stream_id")
+            stream = self._stream_or_none(key)
+            return "0-0" if stream is None else str(stream.last_id)
+
     def xgroup_create(
         self, key: str, group: str, entry_id: str = "$", mkstream: bool = False
     ) -> bool:

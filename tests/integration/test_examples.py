@@ -18,6 +18,7 @@ EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
         ("sentiment_news.py", "top-3 happiest states"),
         ("autoscaling_demo.py", "scaler iterations"),
         ("streaming_session.py", "reused warm deployment: True"),
+        ("cluster_run.py", "cluster outputs match dyn_redis: True"),
     ],
 )
 def test_example_runs(script, expected):

@@ -224,6 +224,7 @@ class TestExecuteGating:
                 "dyn_redis",
                 "dyn_auto_redis",
                 "hybrid_redis",
+                "cluster_redis",
             ]
         )
 

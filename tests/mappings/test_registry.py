@@ -43,6 +43,7 @@ class TestRegistry:
                 "dyn_redis",
                 "dyn_auto_redis",
                 "hybrid_redis",
+                "cluster_redis",
             ]
         )
 

@@ -1,0 +1,155 @@
+"""Parity lane: the same facade, driven against *genuine* Redis.
+
+The RESP client in :mod:`repro.net.client` speaks the real wire protocol,
+so it can talk to an actual Redis server with no extra dependency.  When
+``REPRO_REAL_REDIS_URL`` points at one (``redis://host:port`` or bare
+``host:port``), every test here runs each scenario twice -- once against
+redisim's TCP front-end, once against Redis itself -- and asserts the
+replies are identical.  Without the variable the whole module skips, so
+the default suite never needs a Redis install.
+
+Commands specific to redisim (``RPUSHSEQ``, ``SNAPSHOT``, ``XACKDECR``...)
+are exercised in :mod:`tests.net.test_tcp` instead: genuine Redis does not
+know them, which is exactly the point of keeping them out of this lane.
+"""
+
+import os
+import uuid
+
+import pytest
+
+from repro.net.client import SocketRedisClient
+from repro.net.server import RespTCPServer
+
+pytestmark = [pytest.mark.network, pytest.mark.real_redis]
+
+_URL = os.environ.get("REPRO_REAL_REDIS_URL")
+
+if not _URL:  # pragma: no cover - exercised only with a live Redis
+    pytest.skip(
+        "set REPRO_REAL_REDIS_URL=redis://host:port to run the parity lane",
+        allow_module_level=True,
+    )
+
+
+def _address(url: str) -> str:
+    return url.split("://", 1)[-1].rstrip("/")
+
+
+@pytest.fixture
+def pair():
+    """(redisim client, real-Redis client), keys namespaced per test."""
+    sim_server = RespTCPServer().start()
+    sim = SocketRedisClient(address=sim_server.address)
+    real = SocketRedisClient(address=_address(_URL))
+    real.ping()
+    prefix = f"repro-parity:{uuid.uuid4().hex[:8]}"
+    yield sim, real, lambda k: f"{prefix}:{k}"
+    for key in real.keys(f"{prefix}:*"):
+        real.delete(key)
+    real.close()
+    sim.close()
+    sim_server.close()
+
+
+def both(sim, real, key, op):
+    a, b = op(sim, key), op(real, key)
+    assert a == b, f"redisim={a!r} real={b!r}"
+    return a
+
+
+class TestParity:
+    def test_strings(self, pair):
+        sim, real, k = pair
+        both(sim, real, k("s"), lambda c, key: c.set(key, "v"))
+        both(sim, real, k("s"), lambda c, key: c.get(key))
+        both(sim, real, k("n"), lambda c, key: c.incrby(key, 7))
+        both(sim, real, k("n"), lambda c, key: c.decr(key))
+        both(sim, real, k("s"), lambda c, key: c.exists(key))
+        both(sim, real, k("s"), lambda c, key: c.type(key))
+
+    def test_lists(self, pair):
+        sim, real, k = pair
+        both(sim, real, k("q"), lambda c, key: c.rpush(key, "a", "b", "c"))
+        both(sim, real, k("q"), lambda c, key: c.llen(key))
+        both(sim, real, k("q"), lambda c, key: c.lpop(key))
+        both(sim, real, k("q"), lambda c, key: c.lrange(key, 0, -1))
+        both(sim, real, k("q"), lambda c, key: c.blpop([key], timeout=0.1))
+        both(sim, real, k("empty"), lambda c, key: c.blpop([key], timeout=0.1))
+
+    def test_hashes(self, pair):
+        sim, real, k = pair
+        both(sim, real, k("h"), lambda c, key: c.hset(key, "f", b"1"))
+        both(sim, real, k("h"), lambda c, key: c.hincrby(key, "f", 4))
+        both(sim, real, k("h"), lambda c, key: c.hget(key, "f"))
+        both(sim, real, k("h"), lambda c, key: c.hgetall(key))
+        both(sim, real, k("h"), lambda c, key: c.hlen(key))
+        both(sim, real, k("h"), lambda c, key: c.hdel(key, "f"))
+
+    def test_sets(self, pair):
+        sim, real, k = pair
+        both(sim, real, k("s"), lambda c, key: c.sadd(key, "x", "y"))
+        both(sim, real, k("s"), lambda c, key: c.smembers(key))
+        both(sim, real, k("s"), lambda c, key: c.scard(key))
+        both(sim, real, k("s"), lambda c, key: c.sismember(key, "x"))
+        both(sim, real, k("s"), lambda c, key: c.srem(key, "x"))
+
+    def test_stream_consumer_group_cycle(self, pair):
+        sim, real, k = pair
+
+        def cycle(c, key):
+            c.xgroup_create(key, "g", mkstream=True)
+            c.xadd(key, {"task": "payload"}, entry_id="1-1")
+            c.xadd(key, {"task": "other"}, entry_id="2-1")
+            [(name, entries)] = c.xreadgroup("g", "w0", {key: ">"}, count=10)
+            acked = c.xack(key, "g", entries[0][0])
+            pending = c.xpending(key, "g")
+            return (
+                len(entries),
+                [e[1] for e in entries],
+                acked,
+                pending["pending"],
+                pending["consumers"],
+                c.xlen(key),
+            )
+
+        both(sim, real, k("st"), cycle)
+
+    def test_xautoclaim_adoption(self, pair):
+        sim, real, k = pair
+
+        def adopt(c, key):
+            c.xgroup_create(key, "g", mkstream=True)
+            c.xadd(key, {"t": "1"}, entry_id="1-1")
+            c.xreadgroup("g", "dead", {key: ">"}, count=10)
+            cursor, claimed = c.xautoclaim(key, "g", "live", min_idle_time=0)
+            return [(entry_id, fields) for entry_id, fields in claimed]
+
+        both(sim, real, k("st"), adopt)
+
+    def test_pipeline(self, pair):
+        sim, real, k = pair
+
+        def pipelined(c, key):
+            pipe = c.pipeline()
+            pipe.rpush(key, "a")
+            pipe.incrby(key + ":n", 2)
+            pipe.set(key + ":s", "v")
+            return pipe.execute()[:2]
+
+        both(sim, real, k("p"), pipelined)
+
+    def test_wrongtype_error_code(self, pair):
+        sim, real, k = pair
+
+        def wrongtype(c, key):
+            from repro.net.client import ReplyError
+
+            c.set(key, "v")
+            try:
+                c.lpush(key, 1)
+            except ReplyError as exc:
+                return exc.code
+            return None
+
+        both(sim, real, k("w"), wrongtype)

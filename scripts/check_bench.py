@@ -27,7 +27,8 @@ Refreshing the committed baseline after an intentional perf change::
 
     BENCH_SMOKE=1 PYTHONPATH=src python -m pytest \
         benchmarks/test_micro_substrates.py benchmarks/test_ablation_batching.py \
-        benchmarks/test_ablation_fusion.py benchmarks/test_ablation_warm_submit.py \
+        benchmarks/test_ablation_fusion.py benchmarks/test_ablation_planner.py \
+        benchmarks/test_ablation_warm_submit.py \
         -q --benchmark-json=benchmarks/BENCH_baseline.json
 """
 

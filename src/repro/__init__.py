@@ -57,7 +57,6 @@ from repro.core import (
     ProducerPE,
     Shuffle,
     WorkflowGraph,
-    fuse_graph,
 )
 from repro.engine import Engine, RunConfig
 from repro.jobs import Job, JobCancelledError, JobState
@@ -71,6 +70,7 @@ from repro.mappings import (
     select_mapping,
 )
 from repro.metrics import RunResult
+from repro.planner import CostModel, Plan, Planner, fuse_graph
 from repro.platforms import CLOUD, HPC, LAPTOP, SERVER, PlatformProfile, get_platform
 from repro.state import (
     CrashInjector,
@@ -117,6 +117,7 @@ __all__ = [
     "CLOUD",
     "Capabilities",
     "Chain",
+    "CostModel",
     "ConsumerPE",
     "CrashInjector",
     "Engine",
@@ -134,6 +135,8 @@ __all__ = [
     "LAPTOP",
     "OneToAll",
     "Pipeline",
+    "Plan",
+    "Planner",
     "PlatformProfile",
     "ProducerPE",
     "RedisSnapshotStore",

@@ -10,6 +10,10 @@ Examples::
     repro bench fig08
     repro bench table3
 
+    # explain what the cost-based planner would do (no enactment)
+    repro plan sentiment
+    repro run galaxy --optimize --processes 8
+
     # list what is available (includes the mapping capability table)
     repro list
 
@@ -124,6 +128,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "operators before enactment (--no-fuse, the default, runs the "
         "graph as written)",
     )
+    run_p.add_argument(
+        "--optimize",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="run the cost-based graph planner (all rewrite rules, "
+        "profiled costs) before enactment; outputs are unchanged by "
+        "contract -- see 'repro plan' for the dry-run explanation",
+    )
     output_mode = run_p.add_mutually_exclusive_group()
     output_mode.add_argument(
         "--stream",
@@ -138,6 +150,18 @@ def _build_parser() -> argparse.ArgumentParser:
         help="emit a machine-readable JSON run summary (mapping, timings, "
         "counters, output sizes) instead of the human-readable report",
     )
+
+    plan_p = sub.add_parser(
+        "plan",
+        help="explain what the cost-based planner would do to a workflow",
+    )
+    plan_p.add_argument("workflow", choices=sorted(_WORKFLOWS))
+    plan_p.add_argument("--platform", default="laptop")
+    plan_p.add_argument("--seed", type=int, default=0)
+    plan_p.add_argument("--scale", type=int, default=1, help="galaxy workload multiplier")
+    plan_p.add_argument("--heavy", action="store_true", help="galaxy heavy variant")
+    plan_p.add_argument("--stations", type=int, default=50)
+    plan_p.add_argument("--articles", type=int, default=200)
 
     bench_p = sub.add_parser("bench", help="regenerate one paper figure/table")
     bench_p.add_argument("experiment", choices=list_experiments())
@@ -179,6 +203,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         batch_size=args.batch_size,
         batch_linger_ms=args.batch_linger_ms,
         fuse=args.fuse,
+        optimize=args.optimize,
         checkpoint_interval=args.checkpoint_interval,
         **extra,
     )
@@ -217,6 +242,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"fusion       = {fused_chains} chain(s), "
             f"{result.counters.get('fused_members', 0)} PEs collapsed"
         )
+    planner_rules = result.counters.get("planner_rules", 0)
+    if planner_rules:
+        print(f"optimizer    = {planner_rules} rewrite rule(s) fired")
+    top = result.top_pes(3)
+    if top:
+        ranked = ", ".join(f"{name} {seconds:.3f}s" for name, seconds in top)
+        print(f"top PEs      = {ranked}")
     for key, values in sorted(result.outputs.items()):
         print(f"  {key}: {len(values)} items")
     if result.trace is not None:
@@ -238,6 +270,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"{result.counters.get('restores', 0)} restores, "
             f"{result.counters.get('crashes', 0)} crashes"
         )
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.mappings.base import normalize_inputs
+    from repro.planner import Planner
+
+    graph, inputs = _WORKFLOWS[args.workflow](args)
+    provided = normalize_inputs(graph, inputs)
+    plan = Planner.default().plan(
+        graph,
+        provided=provided,
+        platform=get_platform(args.platform),
+        seed=args.seed,
+    )
+    print(plan.explain())
     return 0
 
 
@@ -264,6 +312,9 @@ _CAPABILITY_COLUMNS = (
     ("recover", lambda name, caps: "yes" if caps.recoverable else "no"),
     ("batch", lambda name, caps: "yes" if caps.batching else "no"),
     ("fuse", lambda name, caps: "yes" if caps.fusion else "no"),
+    # The planner rides the fusion enactment plumbing, so the optimizer
+    # capability follows the fusion bit.
+    ("opt", lambda name, caps: "yes" if caps.fusion else "no"),
     ("stream", lambda name, caps: "yes" if caps.streaming else "no"),
     ("net", lambda name, caps: "yes" if caps.networked else "no"),
 )
@@ -318,6 +369,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
         "run": _cmd_run,
+        "plan": _cmd_plan,
         "bench": _cmd_bench,
         "list": _cmd_list,
         "serve-redis": _cmd_serve_redis,

@@ -20,13 +20,7 @@ from repro.core.exceptions import (
     ValidationError,
 )
 from repro.core.fluent import Chain, InPort, OutPort, Pipeline, coerce_graph
-from repro.core.fusion import (
-    FusedPE,
-    FusionPlan,
-    MemberMeter,
-    find_fusable_chains,
-    fuse_graph,
-)
+from repro.core.fusion import FusedPE, MemberMeter
 from repro.core.graph import Edge, WorkflowGraph
 from repro.core.groupings import AllToOne, GroupBy, Grouping, OneToAll, Shuffle, as_grouping
 from repro.core.partition import allocate_instances
@@ -49,7 +43,6 @@ __all__ = [
     "ExecutionContext",
     "FunctionPE",
     "FusedPE",
-    "FusionPlan",
     "GenericPE",
     "GraphError",
     "GroupBy",
@@ -68,8 +61,6 @@ __all__ = [
     "UnsupportedFeatureError",
     "ValidationError",
     "WorkflowGraph",
-    "find_fusable_chains",
-    "fuse_graph",
     "allocate_instances",
     "as_grouping",
     "coerce_graph",

@@ -54,6 +54,18 @@ from repro.platforms.profiles import LAPTOP, PlatformProfile, get_platform
 AUTO = "auto"
 
 
+def validate_tristate(name: str, value: Any) -> None:
+    """Validate a ``False | True | "auto"`` engine option.
+
+    The single source of the error message for both the config layer
+    (:meth:`RunConfig.fusion_options`) and the per-run path
+    (:meth:`Engine._submit`), so a bad value reads identically wherever
+    it is caught.
+    """
+    if value not in (False, True, "auto"):
+        raise TypeError(f"{name} must be True, False or 'auto', got {value!r}")
+
+
 def _check_option_typos(options: Dict[str, Any]) -> None:
     """Reject option keys that look like misspelled RunConfig fields.
 
@@ -119,6 +131,17 @@ class RunConfig:
         ``True`` requires a mapping declaring ``Capabilities.fusion`` and
         fails otherwise; ``"auto"`` fuses where the mapping supports it
         and silently skips where it does not.
+    optimize:
+        Cost-based graph optimization (:mod:`repro.planner`): apply the
+        full rewrite-rule planner -- chain fusion plus dead-output
+        elimination, fan-out replication and grouping-corridor partial
+        fusion -- under a profiled cost model, and enact the rewritten
+        graph.  Workflow outputs are unchanged by contract (knob
+        suggestions are advisory only).  Same tri-state as ``fuse``:
+        ``True`` requires ``Capabilities.fusion``, ``"auto"`` skips
+        silently on mappings without it.  ``fuse`` stays as the
+        byte-identical fusion-only shim; ``optimize`` supersedes it when
+        both are set.
     checkpoint_interval:
         Deliveries between state checkpoints of pinned stateful instances
         (recoverable mappings only).  Setting it enables checkpoint/restore
@@ -143,6 +166,7 @@ class RunConfig:
     batch_size: int = 1
     batch_linger_ms: float = 0.0
     fuse: Union[bool, str] = False
+    optimize: Union[bool, str] = False
     checkpoint_interval: Optional[int] = None
     state_store: Optional[Any] = None
     options: Dict[str, Any] = field(default_factory=dict)
@@ -171,17 +195,20 @@ class RunConfig:
         return opts
 
     def fusion_options(self) -> Dict[str, Any]:
-        """The operator-fusion setting as a mapping option (if enabled).
+        """The fusion/optimizer settings as mapping options (if enabled).
 
-        ``fuse=False`` stays absent, like the other transport defaults, so
-        a default-configured engine hands mappings exactly the options it
-        did before fusion existed.
+        ``fuse=False`` / ``optimize=False`` stay absent, like the other
+        transport defaults, so a default-configured engine hands mappings
+        exactly the options it did before fusion existed.
         """
-        if self.fuse is False:
-            return {}
-        if self.fuse not in (True, "auto"):
-            raise TypeError(f"fuse must be True, False or 'auto', got {self.fuse!r}")
-        return {"fuse": self.fuse}
+        opts: Dict[str, Any] = {}
+        if self.fuse is not False:
+            validate_tristate("fuse", self.fuse)
+            opts["fuse"] = self.fuse
+        if self.optimize is not False:
+            validate_tristate("optimize", self.optimize)
+            opts["optimize"] = self.optimize
+        return opts
 
     def resolved_platform(self) -> PlatformProfile:
         if isinstance(self.platform, PlatformProfile):
@@ -222,6 +249,7 @@ class Engine:
         batch_size: int = 1,
         batch_linger_ms: float = 0.0,
         fuse: Union[bool, str] = False,
+        optimize: Union[bool, str] = False,
         checkpoint_interval: Optional[int] = None,
         state_store: Optional[Any] = None,
         options: Optional[Dict[str, Any]] = None,
@@ -240,6 +268,7 @@ class Engine:
             batch_size=batch_size,
             batch_linger_ms=batch_linger_ms,
             fuse=fuse,
+            optimize=optimize,
             checkpoint_interval=checkpoint_interval,
             state_store=state_store,
             options=merged_options,
@@ -391,10 +420,7 @@ class Engine:
             **options,
         }
         fuse_request = merged.get("fuse", False)
-        if fuse_request not in (False, True, "auto"):
-            raise TypeError(
-                f"fuse must be True, False or 'auto', got {fuse_request!r}"
-            )
+        validate_tristate("fuse", fuse_request)
         if fuse_request:
             # Same contract as batching below: a mapping that bypasses the
             # shared enactment path would silently run unfused while the
@@ -409,6 +435,22 @@ class Engine:
                         f"operator fusion requested (fuse=True) but mapping "
                         f"{name!r} does not support fusion; pick a fusing "
                         f"mapping, use fuse='auto', or drop the option"
+                    )
+        optimize_request = merged.get("optimize", False)
+        validate_tristate("optimize", optimize_request)
+        if optimize_request:
+            # The planner rides on the same enactment plumbing as fusion,
+            # so it shares the fusion capability bit.
+            caps = get_capabilities(name)
+            if not caps.fusion:
+                if optimize_request == "auto":
+                    merged.pop("optimize")
+                else:
+                    raise UnsupportedFeatureError(
+                        f"graph optimization requested (optimize=True) but "
+                        f"mapping {name!r} does not support the planner; pick "
+                        f"a fusing mapping, use optimize='auto', or drop the "
+                        f"option"
                     )
         if merged.get("batch_size", 1) != 1 or merged.get("batch_linger_ms", 0):
             # Same contract as the recovery gate below: a mapping that

@@ -12,9 +12,12 @@ base class owns everything common to all six mappings:
 - input normalization (how source PEs are driven), eagerly for the one-shot
   :meth:`Mapping.execute` path and lazily (:func:`iter_root_inputs`) for
   streaming submissions,
-- the operator-fusion rewrite (``fuse`` option): fusable 1:1 chains are
-  collapsed into :class:`~repro.core.fusion.FusedPE` operators before
-  enactment, so every mapping executes fused graphs transparently,
+- graph optimization: the ``fuse`` / ``optimize`` / ``plan`` options
+  resolve to a :class:`~repro.planner.Plan` (via the
+  :class:`~repro.planner.Planner`) whose rewritten graph -- fused chains
+  collapsed into :class:`~repro.core.fusion.FusedPE` operators, dead
+  outputs pruned, cheap PEs replicated -- is what the mapping enacts;
+  every mapping executes planned graphs transparently,
 - output collection (emissions on unconnected ports become results), with
   an optional streaming tap so consumers can observe results as they are
   produced,
@@ -39,11 +42,12 @@ from repro.autoscale.trace import ScalingTrace
 from repro.core.concrete import ConcreteWorkflow, Delivery, instance_id
 from repro.core.context import ExecutionContext
 from repro.core.exceptions import MappingError, UnsupportedFeatureError
-from repro.core.fusion import MemberMeter, fuse_graph
+from repro.core.fusion import MemberMeter
 from repro.core.graph import WorkflowGraph
 from repro.core.pe import GenericPE
 from repro.jobs import Job, JobCancelledError
 from repro.metrics.result import RunResult
+from repro.planner import Plan, Planner
 from repro.net.server import RespTCPServer
 from repro.platforms.profiles import LAPTOP, PlatformProfile
 from repro.redisim.server import RedisServer
@@ -89,6 +93,24 @@ def resolve_batch_size(options: Dict[str, Any]) -> int:
     if coerced < 1:
         raise MappingError(f"batch_size must be >= 1, got {coerced}")
     return coerced
+
+
+def pop_plan_options(options: Dict[str, Any]) -> Dict[str, Any]:
+    """Extract the graph-planning options from a mapping options dict.
+
+    Popped keys: ``fuse`` (the classic fusion-only shim), ``optimize``
+    (the full rewrite-rule planner), ``plan`` (a prebuilt
+    :class:`~repro.planner.Plan` to enact as-is) and ``wanted_outputs``
+    (the results keys the caller consumes, enabling dead-output
+    elimination).  The resolution into an actual plan happens after
+    graph validation, in :meth:`Mapping._resolve_plan`.
+    """
+    return {
+        "fuse": options.pop("fuse", False),
+        "optimize": options.pop("optimize", False),
+        "plan": options.pop("plan", None),
+        "wanted_outputs": options.pop("wanted_outputs", None),
+    }
 
 
 def resolve_batch_linger(options: Dict[str, Any]) -> float:
@@ -274,15 +296,23 @@ def dispatch_emissions(
     ``(pe, port)`` pair, see :class:`repro.core.fusion.FusedPE`): emissions
     on an unconnected aliased port are credited to the original results
     key, so a fused run reports the same output keys as an unfused one.
+    It may also declare ``collector_drops`` (a set of port names): the
+    planner marks ports whose output nothing consumes -- dead-output
+    elimination, fan-out replica ports serving other branches -- and
+    emissions on them are discarded instead of collected.
     """
     deliveries: List[Delivery] = []
-    aliases = getattr(concrete.graph.pes.get(pe_name), "collector_aliases", None)
+    pe = concrete.graph.pes.get(pe_name)
+    aliases = getattr(pe, "collector_aliases", None)
+    drops = getattr(pe, "collector_drops", None)
     for port, data in emissions:
         if concrete.graph.out_edges(pe_name, port):
             deliveries.extend(concrete.route_output(pe_name, index, port, data))
         elif aliases and port in aliases:
             original_pe, original_port = aliases[port]
             collector.add(original_pe, original_port, data)
+        elif drops and port in drops:
+            pass
         else:
             collector.add(pe_name, port, data)
     return deliveries
@@ -620,12 +650,13 @@ class Mapping:
             Mapping-specific tuning; unknown keys raise.
         """
         options = dict(options)
-        fuse_option = options.pop("fuse", False)
+        plan_spec = pop_plan_options(options)
         self._check_enactable(graph, processes, platform)
         provided = normalize_inputs(graph, inputs)
+        plan = self._resolve_plan(graph, plan_spec, platform, provided=provided)
         state = self._build_state(
             graph, provided, processes, platform, time_scale, seed, options,
-            fuse_option,
+            plan,
         )
         return self._run_measured(state)
 
@@ -666,7 +697,7 @@ class Mapping:
         errors surface from ``job.wait()`` / ``job.results()``.
         """
         options = dict(options)
-        fuse_option = options.pop("fuse", False)
+        plan_spec = pop_plan_options(options)
         if deadline is not None and deadline <= 0:
             # Validated before any wiring: a bad deadline must not leave an
             # orphaned driver thread running on a torn-down deployment.
@@ -698,17 +729,20 @@ class Mapping:
             and self.wants_net
         ):
             options.setdefault("net_server", deployment.net_server)
+        # Streaming submissions must not consume the (possibly lazy) input
+        # iterators, so the planner profiles without an input sample there.
+        plan = self._resolve_plan(graph, plan_spec, platform)
         job = Job(mapping=self.name, workflow=graph.name, streaming=stream)
         tap = job._emit if results_channel else None
         if stream:
             self._wire_streaming(
                 job, graph, inputs, processes, platform, time_scale, seed,
-                options, fuse_option, deployment, tap,
+                options, plan, deployment, tap,
             )
         else:
             self._wire_buffered(
                 job, graph, inputs, processes, platform, time_scale, seed,
-                options, fuse_option, deployment, tap,
+                options, plan, deployment, tap,
             )
         job._arm_deadline(deadline)
         return job
@@ -724,7 +758,7 @@ class Mapping:
         time_scale: float,
         seed: int,
         options: Dict[str, Any],
-        fuse_option: Any,
+        plan: Optional[Plan],
         deployment: Optional[Deployment],
         tap: Optional[Callable[[str, Any], None]],
     ) -> None:
@@ -736,7 +770,7 @@ class Mapping:
         provided = iter_root_inputs(graph, inputs if inputs is not None else [])
         state = self._build_state(
             graph, provided, processes, platform, time_scale, seed, options,
-            fuse_option, tap=tap, control=control,
+            plan, tap=tap, control=control,
             pool=deployment.pool if deployment is not None else None,
         )
         feed = LiveFeed(state.provided, cancelled=control.cancelled)
@@ -782,7 +816,7 @@ class Mapping:
         time_scale: float,
         seed: int,
         options: Dict[str, Any],
-        fuse_option: Any,
+        plan: Optional[Plan],
         deployment: Optional[Deployment],
         tap: Optional[Callable[[str, Any], None]],
     ) -> None:
@@ -816,7 +850,7 @@ class Mapping:
                     provided = {root: list(items) for root, items in buffer.items()}
                 state = self._build_state(
                     graph, provided, processes, platform, time_scale, seed,
-                    options, fuse_option, tap=tap,
+                    options, plan, tap=tap,
                 )
                 self._note_deployment(state, deployment)
                 result = self._run_measured(state)
@@ -858,6 +892,38 @@ class Mapping:
                 f"mapping {self.name!r} cannot run there"
             )
 
+    def _resolve_plan(
+        self,
+        graph: WorkflowGraph,
+        spec: Dict[str, Any],
+        platform: PlatformProfile,
+        provided: Optional[Dict[str, List[Dict[str, Any]]]] = None,
+    ) -> Optional[Plan]:
+        """Resolve the popped plan options into a :class:`Plan` (or None).
+
+        A prebuilt ``plan=`` wins; ``optimize`` truthy runs the full
+        planner (profiling against ``provided`` when the eager path has
+        it); ``fuse`` truthy runs the fusion-only shim -- no profiling, no
+        planner counters, byte-identical to the classic fusion rewrite.
+        """
+        if spec["plan"] is not None:
+            plan = spec["plan"]
+            if not isinstance(plan, Plan):
+                raise MappingError(
+                    f"plan= expects a repro.planner.Plan, got {plan!r}"
+                )
+            return plan
+        if spec["optimize"]:
+            return Planner.default().plan(
+                graph,
+                provided=provided,
+                platform=platform,
+                wanted_outputs=spec["wanted_outputs"],
+            )
+        if spec["fuse"]:
+            return Planner.fusion_only().plan(graph, profile=False)
+        return None
+
     def _build_state(
         self,
         graph: WorkflowGraph,
@@ -867,12 +933,12 @@ class Mapping:
         time_scale: float,
         seed: int,
         options: Dict[str, Any],
-        fuse_option: Any,
+        plan: Optional[Plan],
         tap: Optional[Callable[[str, Any], None]] = None,
         control: Optional[StreamControl] = None,
         pool: Optional[WorkerPool] = None,
     ) -> EnactmentState:
-        """Assemble the run context (clock, collector, fusion rewrite)."""
+        """Assemble the run context (clock, collector, planned rewrite)."""
         clock = Clock(time_scale)
         ctx = ExecutionContext(
             clock=clock,
@@ -885,20 +951,19 @@ class Mapping:
         counters = Counters()
         member_meter: Optional[MemberMeter] = None
         root_rename: Dict[str, str] = {}
-        if fuse_option:
-            # Collapse fusable 1:1 chains before enactment: the rewritten
-            # graph is an ordinary WorkflowGraph, so every mapping executes
-            # FusedPEs transparently.  Inputs were normalized against the
-            # user's graph above, then re-keyed onto fused source PEs.
-            plan = fuse_graph(graph)
+        if plan is not None and plan.transformed:
+            # Enact the plan's rewritten graph: an ordinary WorkflowGraph,
+            # so every mapping executes it transparently.  Inputs were
+            # normalized against the user's graph, then re-keyed onto the
+            # rewritten sources (and pruned roots dropped).
+            graph = plan.graph
+            provided = plan.rename_inputs(provided)
+            root_rename = dict(plan.member_to_fused)
             if plan.fused:
-                graph = plan.graph
-                provided = plan.rename_inputs(provided)
-                root_rename = dict(plan.member_to_fused)
                 member_meter = MemberMeter()
                 ctx.pe_meter = member_meter
-                counters.inc("fused_chains", len(plan.chains))
-                counters.inc("fused_members", sum(len(c) for c in plan.chains))
+            for name, amount in plan.counters.items():
+                counters.inc(name, amount)
         state = EnactmentState(
             graph=graph,
             provided=provided,

@@ -59,6 +59,16 @@ class RunResult:
     def total_outputs(self) -> int:
         return sum(len(v) for v in self.outputs.values())
 
+    def top_pes(self, n: int = 3) -> List[Tuple[str, float]]:
+        """The ``n`` costliest member PEs by attributed busy time.
+
+        Empty unless the run carried per-PE attribution (``pe_times``),
+        i.e. unless fusion/optimization ran.  Ties break by name so the
+        ordering is deterministic.
+        """
+        ranked = sorted(self.pe_times.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:n]
+
     def efficiency(self) -> float:
         """Process time per second of runtime (lower is more efficient)."""
         if self.runtime <= 0:

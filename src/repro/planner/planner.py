@@ -1,0 +1,209 @@
+"""The :class:`Planner`: rules + cost model -> :class:`Plan`.
+
+One planning pass applies its rewrite rules once each, in order, to a
+workflow graph, then prices the final graph under the cost model and
+derives advisory knob suggestions.  Two stock configurations:
+
+- :meth:`Planner.default` (also just ``Planner()``) -- the full rule set
+  (:func:`repro.planner.rules.default_rules`), used by
+  ``optimize=True|"auto"``.
+- :meth:`Planner.fusion_only` -- exactly the chain-fusion rule with no
+  profiling and no extra counters: the byte-identical engine behind the
+  classic ``fuse=`` option.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.core.graph import WorkflowGraph
+from repro.planner.cost import CostModel, profile_graph
+from repro.planner.plan import Plan, RuleApplication
+from repro.planner.rules import PlanContext, RewriteRule, ChainFusion, default_rules
+from repro.platforms.profiles import LAPTOP, PlatformProfile
+
+#: Upper bound for the numprocesses suggestion (the paper's largest sweep).
+MAX_SUGGESTED_PROCESSES = 16
+
+
+class Planner:
+    """Applies rewrite rules to workflow graphs under a cost model."""
+
+    def __init__(
+        self,
+        rules: Optional[Iterable[RewriteRule]] = None,
+        annotate: bool = True,
+    ) -> None:
+        self.rules: List[RewriteRule] = (
+            list(rules) if rules is not None else default_rules()
+        )
+        #: Whether plans stamp planner bookkeeping counters on the run
+        #: (``planner_rules``).  The fusion-only shim turns this off so the
+        #: classic ``fuse=`` path keeps byte-identical counters.
+        self.annotate = annotate
+
+    @classmethod
+    def default(cls) -> "Planner":
+        return cls()
+
+    @classmethod
+    def fusion_only(cls) -> "Planner":
+        """The ``fuse=`` shim: chain fusion alone, no planner annotations."""
+        return cls(rules=[ChainFusion()], annotate=False)
+
+    def plan(
+        self,
+        graph: WorkflowGraph,
+        cost: Optional[CostModel] = None,
+        provided: Optional[Dict[str, List[Dict[str, Any]]]] = None,
+        prior: Optional[Any] = None,
+        platform: PlatformProfile = LAPTOP,
+        profile: bool = True,
+        wanted_outputs: Optional[Iterable[str]] = None,
+        seed: int = 0,
+    ) -> Plan:
+        """Plan one workflow graph.
+
+        Parameters
+        ----------
+        graph:
+            The abstract workflow to rewrite.  Never mutated.
+        cost:
+            A ready :class:`CostModel`; skips profiling when given.
+        provided:
+            Normalized root inputs (:func:`repro.mappings.base.
+            normalize_inputs` form).  A small prefix seeds the profiling
+            dry-run, and the per-root counts anchor the invocation
+            estimates.
+        prior:
+            A previous :class:`~repro.metrics.result.RunResult`; its
+            per-member ``pe_times``/``member_tasks`` attribution (from a
+            fused run) overrides profiled per-tuple costs.
+        platform:
+            Target platform (hop cost, core budget for suggestions).
+        profile:
+            Run the profiling dry-run when no ``cost`` was given.  With
+            ``False`` the model degrades to uniform costs (plus ``prior``
+            metrics, if any).
+        wanted_outputs:
+            Results keys (``"<pe>.<port>"``) the caller consumes; enables
+            dead-output elimination.
+        seed:
+            RNG seed for the profiling dry-run (PEs that draw randomness
+            profile deterministically).
+        """
+        graph.validate()
+        if cost is None:
+            cost = (
+                profile_graph(graph, provided=provided, platform=platform, seed=seed)
+                if profile
+                else CostModel.uniform(graph, platform)
+            )
+        if prior is not None:
+            metrics = CostModel.from_result(prior, platform)
+            if metrics is not None:
+                merged = dict(cost.per_tuple)
+                merged.update(metrics.per_tuple)
+                cost = CostModel(
+                    per_tuple=merged,
+                    selectivity=cost.selectivity,
+                    hop_cost=cost.hop_cost,
+                    source=f"{cost.source}+metrics",
+                    sampled=cost.sampled,
+                )
+        ctx = PlanContext(
+            cost=cost,
+            wanted_outputs=(
+                frozenset(wanted_outputs) if wanted_outputs is not None else None
+            ),
+        )
+
+        current = graph
+        steps: List[RuleApplication] = []
+        chains: List[tuple] = []
+        member_to_fused: Dict[str, str] = {}
+        for rule in self.rules:
+            result = rule.apply(current, ctx)
+            if result is None:
+                continue
+            current = result.graph
+            steps.append(RuleApplication(rule=rule.name, detail=result.detail))
+            chains.extend(result.chains)
+            member_to_fused.update(result.member_to_fused)
+
+        root_counts = self._root_counts(current, provided, member_to_fused)
+        tuples = cost.estimated_invocations(current, root_counts)
+        predicted = {
+            name: cost.node_cost(pe) * tuples.get(name, 0.0)
+            for name, pe in current.pes.items()
+        }
+        counters: Dict[str, int] = {}
+        if chains:
+            counters["fused_chains"] = len(chains)
+            counters["fused_members"] = sum(len(c) for c in chains)
+        if self.annotate and steps:
+            counters["planner_rules"] = len(steps)
+        return Plan(
+            graph=current,
+            original=graph,
+            steps=tuple(steps),
+            chains=tuple(tuple(c) for c in chains),
+            member_to_fused=member_to_fused,
+            cost=cost,
+            predicted_costs=predicted,
+            estimated_tuples=tuples,
+            suggestions=self._suggest(predicted, cost, platform),
+            counters=counters,
+        )
+
+    @staticmethod
+    def _root_counts(
+        graph: WorkflowGraph,
+        provided: Optional[Dict[str, List[Dict[str, Any]]]],
+        member_to_fused: Dict[str, str],
+    ) -> Dict[str, int]:
+        """Per-root input counts, re-keyed onto the rewritten graph."""
+        counts: Dict[str, int] = {}
+        for root, items in (provided or {}).items():
+            target = member_to_fused.get(root, root)
+            if target in graph.pes:
+                counts[target] = counts.get(target, 0) + len(items)
+        return counts
+
+    @staticmethod
+    def _suggest(
+        predicted: Dict[str, float],
+        cost: CostModel,
+        platform: PlatformProfile,
+    ) -> Dict[str, Any]:
+        """Advisory knob choices from the predicted cost distribution.
+
+        ``numprocesses``: pipeline throughput is bounded by the costliest
+        node, so processes beyond total-work / bottleneck-work only idle;
+        the suggestion is that ratio, clamped to the platform's cores.
+        ``batch_size``: sized by how hop-dominated the workload is (hop
+        cost relative to the mean per-node work per tuple) -- batching
+        amortizes exactly the hop cost.
+        """
+        suggestions: Dict[str, Any] = {}
+        total = sum(predicted.values())
+        bottleneck = max(predicted.values(), default=0.0)
+        if total > 0 and bottleneck > 0:
+            processes = max(1, math.ceil(total / bottleneck))
+            limit = MAX_SUGGESTED_PROCESSES
+            if platform.cores is not None:
+                limit = min(limit, platform.cores)
+            suggestions["numprocesses"] = min(processes, limit)
+        per_tuple = [v for v in cost.per_tuple.values() if v > 0]
+        if per_tuple and cost.hop_cost > 0:
+            ratio = cost.hop_cost / (sum(per_tuple) / len(per_tuple))
+            if ratio >= 1.0:
+                suggestions["batch_size"] = 32
+            elif ratio >= 0.25:
+                suggestions["batch_size"] = 8
+            elif ratio >= 0.05:
+                suggestions["batch_size"] = 2
+            else:
+                suggestions["batch_size"] = 1
+        return suggestions

@@ -1,0 +1,449 @@
+"""The planner's rewrite rules: small, semantics-preserving local rewrites.
+
+Each rule inspects a :class:`~repro.core.graph.WorkflowGraph` under a
+:class:`~repro.planner.cost.CostModel` and either returns a rewritten
+graph (a :class:`RewriteResult`) or ``None`` when it has nothing to do --
+the local-rewrite discipline of arXiv:2306.10585: every transform is
+local, independently provably output-preserving, and produces an ordinary
+``WorkflowGraph`` that any mapping enacts without special cases.
+
+Built-in rules, in the order the default planner applies them:
+
+1. :class:`DeadOutputElimination` -- prune result cones nothing consumes.
+   Inert unless the caller names its ``wanted_outputs``: in this engine
+   *every* unconnected port is collector-consumed by design, so only an
+   explicit statement of which ``"<pe>.<port>"`` keys matter makes any
+   output provably dead.  PEs without output ports are side-effecting
+   sinks and are never pruned.
+2. :class:`FanOutReplication` -- duplicate a cheap stateless PE into one
+   copy per fan-out branch so each branch becomes a 1:1 chain the fusion
+   rules can collapse.  Strictly opt-in: the PE must declare
+   ``replicable = True`` (the author's statement that ``process()`` is
+   deterministic given its input -- per-instance RNG streams make blind
+   replication unsound).
+3. :class:`PartialFusion` -- fuse across a *grouping corridor*: an
+   ``A -> B`` hop whose GroupBy partitioning chain fusion must refuse
+   (fusing erases the grouping) becomes fusable when A declares
+   ``key_preserving = True`` and both sides pin the same instance count,
+   because the partition an inbound tuple lands on is then exactly the
+   partition its derived tuples would have been routed to.
+4. :class:`ChainFusion` -- PR 4's maximal 1:1 chain fusion
+   (:func:`repro.planner.fusion.fuse_graph`), running last so it sweeps
+   up chains the earlier rules created.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.fusion import FusedPE
+from repro.core.graph import WorkflowGraph
+from repro.core.groupings import GroupBy, Grouping, Shuffle
+from repro.planner.cost import CostModel
+from repro.planner.fusion import _merge_pin, find_fusable_chains, fuse_chains
+
+
+@dataclass(frozen=True)
+class PlanContext:
+    """Per-plan evidence the rules decide on."""
+
+    cost: CostModel
+    wanted_outputs: Optional[frozenset] = None
+
+
+@dataclass(frozen=True)
+class RewriteResult:
+    """One rule's rewrite: the new graph plus bookkeeping for the plan."""
+
+    graph: WorkflowGraph
+    detail: str
+    chains: Tuple[Tuple[str, ...], ...] = ()
+    member_to_fused: Dict[str, str] = field(default_factory=dict)
+
+
+class RewriteRule:
+    """Protocol of a planner rewrite rule.
+
+    ``apply`` returns a :class:`RewriteResult` with a *new* graph (input
+    graphs and their PEs are never mutated -- boundary PEs that need
+    altered attributes are deep-copied first), or ``None`` when the rule
+    does not fire.  Rules must preserve the workflow's observable outputs:
+    the multiset of collected data units per wanted results key.
+    """
+
+    name = "rewrite"
+
+    def apply(
+        self, graph: WorkflowGraph, ctx: PlanContext
+    ) -> Optional[RewriteResult]:
+        raise NotImplementedError
+
+
+def _stateless_grouping(grouping: Optional[Grouping]) -> bool:
+    return grouping is None or isinstance(grouping, Shuffle)
+
+
+def _same_groupby(a: Optional[Grouping], b: Optional[Grouping]) -> bool:
+    """Provably-equal partitioners: GroupBy on identical declared keys.
+
+    Callable-keyed GroupBys compare equal only as the same object -- two
+    distinct callables cannot be proven to partition identically.
+    """
+    if not isinstance(a, GroupBy) or not isinstance(b, GroupBy):
+        return False
+    if a is b:
+        return True
+    return a.keys is not None and a.keys == b.keys
+
+
+class ChainFusion(RewriteRule):
+    """Collapse maximal fusable 1:1 chains (the PR 4 rewrite as a rule).
+
+    Chains containing an already-fused PE (from :class:`PartialFusion`)
+    are left alone: fusions do not nest.
+    """
+
+    name = "chain_fusion"
+
+    def apply(
+        self, graph: WorkflowGraph, ctx: PlanContext
+    ) -> Optional[RewriteResult]:
+        found = [
+            (chain, pin)
+            for chain, pin in find_fusable_chains(graph)
+            if not any(isinstance(graph.pes[n], FusedPE) for n in chain)
+        ]
+        if not found:
+            return None
+        plan = fuse_chains(graph, found)
+        described = ", ".join("+".join(chain) for chain, _pin in found)
+        return RewriteResult(
+            graph=plan.graph,
+            detail=f"fused {len(found)} chain(s): {described}",
+            chains=plan.chains,
+            member_to_fused=plan.member_to_fused,
+        )
+
+
+class DeadOutputElimination(RewriteRule):
+    """Prune output cones nothing consumes; drop unwanted collector ports.
+
+    Fires only when the plan names its ``wanted_outputs`` (a set of
+    ``"<pe>.<port>"`` results keys): by default every unconnected port
+    feeds the collector, so nothing is dead.  Given the wanted set:
+
+    - *live* PEs are those with a wanted collector port or no output
+      ports at all (side-effecting sinks), plus all their ancestors;
+    - dead PEs -- whose entire downstream cone reaches no wanted output
+      and no sink -- are removed along with their edges;
+    - live PEs whose unwanted unconnected ports would still be collected
+      are replaced by copies marking those ports ``collector_drops``
+      (honoured by :func:`repro.mappings.base.dispatch_emissions`), so
+      the run's outputs carry exactly the wanted keys.
+    """
+
+    name = "dead_output_elimination"
+
+    def apply(
+        self, graph: WorkflowGraph, ctx: PlanContext
+    ) -> Optional[RewriteResult]:
+        wanted = ctx.wanted_outputs
+        if wanted is None:
+            return None
+
+        def collector_ports(name: str) -> List[str]:
+            pe = graph.pes[name]
+            return [p for p in pe.outputconnections if not graph.out_edges(name, p)]
+
+        live = set()
+        for name, pe in graph.pes.items():
+            if not pe.outputconnections:
+                live.add(name)  # side-effecting sink: never prune
+            elif any(f"{name}.{port}" in wanted for port in collector_ports(name)):
+                live.add(name)
+        frontier = list(live)
+        while frontier:
+            name = frontier.pop()
+            for edge in graph.in_edges(name):
+                if edge.src not in live:
+                    live.add(edge.src)
+                    frontier.append(edge.src)
+        if not live:
+            # Nothing wanted matches this graph: refuse to empty it.
+            return None
+        dead = set(graph.pes) - live
+
+        # Ports of live PEs that must not reach the collector: unwanted
+        # unconnected ports, and ports whose every consumer is pruned.
+        drops: Dict[str, set] = {}
+        for name in live:
+            pe = graph.pes[name]
+            for port in pe.outputconnections:
+                outs = graph.out_edges(name, port)
+                if not outs:
+                    if f"{name}.{port}" not in wanted:
+                        drops.setdefault(name, set()).add(port)
+                elif all(e.dst in dead for e in outs):
+                    drops.setdefault(name, set()).add(port)
+        if not dead and not drops:
+            return None
+
+        rewritten = WorkflowGraph(graph.name)
+        for name, pe in graph.pes.items():
+            if name in dead:
+                continue
+            if name in drops:
+                pe = copy.deepcopy(pe)
+                existing = set(getattr(pe, "collector_drops", ()) or ())
+                pe.collector_drops = existing | drops[name]
+            rewritten.add(pe)
+        for edge in graph.edges:
+            if edge.src in dead or edge.dst in dead:
+                continue
+            rewritten.connect(
+                edge.src, edge.src_port, edge.dst, edge.dst_port,
+                grouping=edge.grouping,
+            )
+        rewritten.validate()
+        parts = []
+        if dead:
+            parts.append(f"pruned {len(dead)} dead PE(s): {', '.join(sorted(dead))}")
+        if drops:
+            dropped = sorted(
+                f"{name}.{port}" for name, ports in drops.items() for port in ports
+            )
+            parts.append(f"dropped unwanted output(s): {', '.join(dropped)}")
+        return RewriteResult(graph=rewritten, detail="; ".join(parts))
+
+
+class FanOutReplication(RewriteRule):
+    """Duplicate a cheap stateless PE into one copy per fan-out branch.
+
+    A PE consumed by several downstream branches blocks chain fusion (its
+    fan-out violates the 1:1 rule).  Replicating it -- one deep copy per
+    destination, each keeping only the edges to that destination --
+    recomputes the PE once per branch but turns every branch into a 1:1
+    hop :class:`ChainFusion` can then collapse.
+
+    Eligibility is deliberately strict; the PE must
+
+    - declare ``replicable = True`` (its ``process()`` is a pure function
+      of the input -- replicas run with distinct RNG streams),
+    - be stateless, unpinned, non-root and not itself fused,
+    - have only Shuffle/default groupings on every surrounding edge,
+    - have every output port connected (replication must not create new
+      collector keys; ports serving other branches are marked
+      ``collector_drops`` on each copy),
+    - profile as cheap: at most the median per-tuple cost, or twice the
+      hop cost it helps remove, whichever is larger.
+    """
+
+    name = "fanout_replication"
+
+    def apply(
+        self, graph: WorkflowGraph, ctx: PlanContext
+    ) -> Optional[RewriteResult]:
+        stateful = {pe.name for pe in graph.stateful_pes()}
+        measured = sorted(ctx.cost.per_tuple.values()) or [1.0]
+        median = measured[len(measured) // 2]
+        threshold = max(2 * ctx.cost.hop_cost, median)
+
+        candidates: List[str] = []
+        for name in graph.topological_order():
+            pe = graph.pes[name]
+            if not getattr(pe, "replicable", False):
+                continue
+            if isinstance(pe, FusedPE) or name in stateful:
+                continue
+            if pe.numprocesses is not None:
+                continue
+            ins = graph.in_edges(name)
+            outs = graph.out_edges(name)
+            if not ins or len(outs) < 2:
+                continue
+            if len({e.dst for e in outs}) < 2:
+                continue  # parallel edges to one consumer: no branches to split
+            if any(not graph.out_edges(name, p) for p in pe.outputconnections):
+                continue  # an unconnected port would be double-collected
+            if any(
+                not _stateless_grouping(graph.effective_grouping(e))
+                for e in list(ins) + list(outs)
+            ):
+                continue
+            if ctx.cost.cost_of(name) > threshold:
+                continue
+            candidates.append(name)
+        # Adjacent candidates would replicate into each other's copies;
+        # keep the topologically-first of any adjacent pair.
+        chosen: List[str] = []
+        for name in candidates:
+            neighbours = {e.src for e in graph.in_edges(name)}
+            neighbours |= {e.dst for e in graph.out_edges(name)}
+            if neighbours.isdisjoint(chosen):
+                chosen.append(name)
+        if not chosen:
+            return None
+
+        rewritten = WorkflowGraph(graph.name)
+        clones_of: Dict[str, List[str]] = {}
+        for name, pe in graph.pes.items():
+            if name not in chosen:
+                rewritten.add(pe)
+                continue
+            branch_dsts: List[str] = []
+            for edge in graph.out_edges(name):
+                if edge.dst not in branch_dsts:
+                    branch_dsts.append(edge.dst)
+            for dst in branch_dsts:
+                clone = copy.deepcopy(pe)
+                clone.name = f"{name}~{dst}"
+                branch_ports = {
+                    e.src_port for e in graph.out_edges(name) if e.dst == dst
+                }
+                clone.collector_drops = {
+                    p for p in pe.outputconnections if p not in branch_ports
+                }
+                rewritten.add(clone)
+                clones_of.setdefault(name, []).append(clone.name)
+        for edge in graph.edges:
+            if edge.src in chosen:
+                # The branch copy serving this destination takes the edge.
+                rewritten.connect(
+                    f"{edge.src}~{edge.dst}", edge.src_port,
+                    edge.dst, edge.dst_port, grouping=edge.grouping,
+                )
+            elif edge.dst in chosen:
+                for clone_name in clones_of[edge.dst]:
+                    rewritten.connect(
+                        edge.src, edge.src_port, clone_name, edge.dst_port,
+                        grouping=edge.grouping,
+                    )
+            else:
+                rewritten.connect(
+                    edge.src, edge.src_port, edge.dst, edge.dst_port,
+                    grouping=edge.grouping,
+                )
+        rewritten.validate()
+        described = ", ".join(
+            f"{name} -> {len(clones_of[name])} copies" for name in chosen
+        )
+        return RewriteResult(
+            graph=rewritten, detail=f"replicated {described}"
+        )
+
+
+class PartialFusion(RewriteRule):
+    """Fuse grouping *corridors*: GroupBy hops that provably re-partition
+    to the same instance.
+
+    Chain fusion refuses to fuse across an instance-pinning grouping
+    unless the chain runs on one instance, because fusing erases the
+    re-partitioning the grouping performs.  The corridor case restores
+    multi-instance fusion: for ``... =GroupBy(k)=> A =GroupBy(k)=> B``
+    where
+
+    - every inbound edge of A carries the *same declared* GroupBy key as
+      the A->B edge,
+    - A is stateless, declares ``key_preserving = True`` (the key of
+      every tuple it emits equals the key of the tuple it consumed), and
+    - A and B resolve to the same instance count (their ``numprocesses``
+      pins, defaulting to 1 for the grouped-stateful side, are equal),
+
+    a tuple of key ``k`` lands on instance ``h(k)`` of A, and every
+    derived tuple would have been routed to instance ``h(k)`` of B --
+    the very instance the fusion co-locates.  The A->B hop is therefore
+    identity routing and can collapse, keeping B's state partitioning
+    bit-for-bit.  The corridor then extends downstream over ordinary
+    stateless 1:1 hops, like any fused chain.
+    """
+
+    name = "partial_fusion"
+
+    def apply(
+        self, graph: WorkflowGraph, ctx: PlanContext
+    ) -> Optional[RewriteResult]:
+        stateful = {pe.name for pe in graph.stateful_pes()}
+
+        def pinned_instances(name: str) -> Optional[int]:
+            pe = graph.pes[name]
+            if name in stateful:
+                return pe.numprocesses if pe.numprocesses is not None else 1
+            return pe.numprocesses
+
+        found: List[Tuple[List[str], Optional[int]]] = []
+        claimed: set = set()
+        for name in graph.topological_order():
+            if name in claimed:
+                continue
+            head = graph.pes[name]
+            if isinstance(head, FusedPE) or head.stateful:
+                continue
+            if not getattr(head, "key_preserving", False):
+                continue
+            outs = graph.out_edges(name)
+            if len(outs) != 1:
+                continue
+            corridor_edge = outs[0]
+            nxt = corridor_edge.dst
+            if nxt in claimed or isinstance(graph.pes[nxt], FusedPE):
+                continue
+            if len(graph.in_edges(nxt)) != 1:
+                continue
+            corridor = graph.effective_grouping(corridor_edge)
+            ins = graph.in_edges(name)
+            if not ins or not all(
+                _same_groupby(graph.effective_grouping(e), corridor) for e in ins
+            ):
+                continue
+            pin_a = pinned_instances(name)
+            pin_b = pinned_instances(nxt)
+            if pin_b is None or (pin_a or 1) != pin_b:
+                continue
+            if pin_b == 1:
+                continue  # single-instance corridors already fuse as chains
+            chain = [name, nxt]
+            pin: Optional[int] = pin_b
+            # Extend downstream over ordinary stateless 1:1 shuffle hops.
+            while True:
+                tail_outs = graph.out_edges(chain[-1])
+                if len(tail_outs) != 1:
+                    break
+                edge = tail_outs[0]
+                dst = edge.dst
+                if (
+                    dst in claimed
+                    or isinstance(graph.pes[dst], FusedPE)
+                    or dst in stateful
+                    or len(graph.in_edges(dst)) != 1
+                    or not _stateless_grouping(graph.effective_grouping(edge))
+                ):
+                    break
+                ok, merged = _merge_pin(pin, graph.pes[dst].numprocesses)
+                if not ok:
+                    break
+                chain.append(dst)
+                pin = merged
+            found.append((chain, pin))
+            claimed.update(chain)
+        if not found:
+            return None
+        plan = fuse_chains(graph, found)
+        described = ", ".join("+".join(chain) for chain, _pin in found)
+        return RewriteResult(
+            graph=plan.graph,
+            detail=f"fused {len(found)} grouping corridor(s): {described}",
+            chains=plan.chains,
+            member_to_fused=plan.member_to_fused,
+        )
+
+
+def default_rules() -> List[RewriteRule]:
+    """The default rule order: narrow first, then the greedy chain sweep."""
+    return [
+        DeadOutputElimination(),
+        FanOutReplication(),
+        PartialFusion(),
+        ChainFusion(),
+    ]

@@ -1,4 +1,8 @@
-"""Unit tests for the operator-fusion rewrite pass (repro.core.fusion)."""
+"""Unit tests for the operator-fusion rewrite pass.
+
+The rewrite itself lives in :mod:`repro.planner.fusion` since the planner
+refactor; the ``FusedPE`` runtime stays in :mod:`repro.core.fusion`.
+"""
 
 import copy
 
@@ -6,14 +10,8 @@ import pytest
 
 from repro.core.context import ExecutionContext
 from repro.core.exceptions import GraphError
-from repro.core.fusion import (
-    FusedPE,
-    FusionPlan,
-    MemberMeter,
-    find_fusable_chains,
-    fuse_graph,
-    fused_name,
-)
+from repro.core.fusion import FusedPE, MemberMeter, fused_name
+from repro.planner.fusion import FusionPlan, find_fusable_chains, fuse_graph
 from repro.core.graph import WorkflowGraph
 from repro.core.groupings import GroupBy, Shuffle
 from tests.conftest import (

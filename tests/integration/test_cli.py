@@ -19,13 +19,29 @@ class TestCliList:
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         assert "stream" in out
+        header = next(line for line in out.splitlines()
+                      if line.strip().startswith("name "))
+        col = header.split().index("stream")
         # multi runs the live streaming path, simple does not.
         multi_row = next(line for line in out.splitlines()
                          if line.strip().startswith("multi "))
         simple_row = next(line for line in out.splitlines()
                           if line.strip().startswith("simple "))
-        assert multi_row.split()[8] == "yes"
-        assert simple_row.split()[8] == "no"
+        assert multi_row.split()[col] == "yes"
+        assert simple_row.split()[col] == "no"
+
+    def test_list_has_opt_column(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        header = next(line for line in out.splitlines()
+                      if line.strip().startswith("name "))
+        col = header.split().index("opt")
+        # The planner rides the fusion plumbing: opt follows the fuse bit.
+        fuse_col = header.split().index("fuse")
+        for line in out.splitlines():
+            cells = line.split()
+            if len(cells) > col and cells[0] in ("simple", "multi", "dyn_multi"):
+                assert cells[col] == cells[fuse_col]
 
 
 class TestCliRun:

@@ -1,0 +1,257 @@
+"""Unit tests for the planner's rewrite rules.
+
+Each rule is exercised directly against handcrafted graphs and cost
+models (no enactment), pinning its firing conditions and its refusals.
+End-to-end output equivalence under enactment lives in
+``tests/planner/test_planner.py``.
+"""
+
+from repro.core.fusion import FusedPE
+from repro.core.graph import WorkflowGraph
+from repro.core.groupings import GroupBy
+from repro.core.pe import IterativePE
+from repro.planner.cost import CostModel
+from repro.planner.rules import (
+    ChainFusion,
+    DeadOutputElimination,
+    FanOutReplication,
+    PartialFusion,
+    PlanContext,
+    default_rules,
+)
+from tests.conftest import AddOne, Collect, Double, Emit, StatefulCounter, linear_graph
+
+
+def _ctx(graph, wanted=None, **cost_kwargs):
+    cost = (
+        CostModel(**cost_kwargs) if cost_kwargs else CostModel.uniform(graph)
+    )
+    return PlanContext(
+        cost=cost,
+        wanted_outputs=frozenset(wanted) if wanted is not None else None,
+    )
+
+
+class ReplicableEmit(IterativePE):
+    replicable = True
+
+    def _process(self, data):
+        return data
+
+
+class KeyedDouble(IterativePE):
+    """Doubles the value of (key, value) tuples; key-preserving."""
+
+    key_preserving = True
+
+    def __init__(self, name=None, instances=None):
+        super().__init__(name)
+        if instances is not None:
+            self.numprocesses = instances
+
+    def _process(self, data):
+        key, value = data
+        return (key, 2 * value)
+
+
+class TestDeadOutputElimination:
+    def _diamond(self):
+        """src fans out to a wanted branch and a dead branch."""
+        g = WorkflowGraph("doe")
+        src = Emit(name="src")
+        g.connect(src, "output", Double(name="keep"), "input")
+        g.connect(src, "output", AddOne(name="dead"), "input")
+        return g
+
+    def test_inert_without_wanted_outputs(self):
+        g = self._diamond()
+        assert DeadOutputElimination().apply(g, _ctx(g)) is None
+
+    def test_prunes_unwanted_cone(self):
+        g = self._diamond()
+        result = DeadOutputElimination().apply(g, _ctx(g, wanted={"keep.output"}))
+        assert result is not None
+        assert set(result.graph.pes) == {"src", "keep"}
+        assert "pruned 1 dead PE(s): dead" in result.detail
+
+    def test_unconnected_unwanted_output_marked_dropped(self):
+        """A live PE's unconnected port that is not wanted is dropped from
+        collection -- via a copy, never by mutating the user's PE."""
+        g = self._diamond()
+        keep = g.pes["keep"]
+        result = DeadOutputElimination().apply(g, _ctx(g, wanted={"dead.output"}))
+        assert set(result.graph.pes) == {"src", "dead"}
+        # The template graph and its PEs are untouched.
+        assert set(g.pes) == {"src", "keep", "dead"}
+        assert not getattr(keep, "collector_drops", None)
+
+    def test_output_consumed_only_by_collector_and_wanted_is_kept(self):
+        g = linear_graph(Emit(name="src"), Double(name="d"))
+        assert (
+            DeadOutputElimination().apply(g, _ctx(g, wanted={"d.output"})) is None
+        )
+
+    def test_sink_is_never_pruned(self):
+        """Side-effecting sinks (no output ports) stay even when no wanted
+        key mentions them."""
+        g = WorkflowGraph("sink")
+        src = Emit(name="src")
+        g.connect(src, "output", Double(name="d"), "input")
+        g.connect(g.pe("d"), "output", Collect(name="sink"), "input")
+        g.connect(src, "output", AddOne(name="extra"), "input")
+        result = DeadOutputElimination().apply(g, _ctx(g, wanted=set()))
+        assert "sink" in result.graph.pes
+        assert "extra" not in result.graph.pes
+
+    def test_port_feeding_only_dead_pes_is_dropped(self):
+        g = self._diamond()
+        result = DeadOutputElimination().apply(g, _ctx(g, wanted={"keep.output"}))
+        # src.output still feeds 'keep', so it must NOT be dropped.
+        src = result.graph.pes["src"]
+        assert "output" not in set(getattr(src, "collector_drops", ()) or ())
+
+    def test_refuses_to_empty_the_graph(self):
+        g = linear_graph(Emit(name="src"), Double(name="d"))
+        assert (
+            DeadOutputElimination().apply(g, _ctx(g, wanted={"other.port"})) is None
+        )
+
+
+class TestFanOutReplication:
+    def _fanout(self, mid):
+        g = WorkflowGraph("fanout")
+        src = Emit(name="src")
+        g.connect(src, "output", mid, "input")
+        g.connect(mid, "output", Double(name="left"), "input")
+        g.connect(mid, "output", AddOne(name="right"), "input")
+        return g
+
+    def _cheap_ctx(self, graph):
+        return PlanContext(
+            cost=CostModel(
+                per_tuple={name: 0.001 for name in graph.pes},
+                hop_cost=0.0002,
+            )
+        )
+
+    def test_replicates_opt_in_cheap_fanout(self):
+        g = self._fanout(ReplicableEmit(name="mid"))
+        result = FanOutReplication().apply(g, self._cheap_ctx(g))
+        assert result is not None
+        assert {"mid~left", "mid~right"} <= set(result.graph.pes)
+        assert "mid" not in result.graph.pes
+        # Each copy serves exactly one branch.
+        assert [e.dst for e in result.graph.out_edges("mid~left")] == ["left"]
+        assert [e.dst for e in result.graph.out_edges("mid~right")] == ["right"]
+        # Both copies still receive the full source stream.
+        assert {e.dst for e in result.graph.out_edges("src")} == {
+            "mid~left", "mid~right"
+        }
+
+    def test_requires_replicable_declaration(self):
+        g = self._fanout(Emit(name="mid"))
+        assert FanOutReplication().apply(g, self._cheap_ctx(g)) is None
+
+    def test_refuses_expensive_pe(self):
+        g = self._fanout(ReplicableEmit(name="mid"))
+        ctx = PlanContext(
+            cost=CostModel(
+                per_tuple={"src": 0.001, "mid": 5.0, "left": 0.001, "right": 0.001},
+                hop_cost=0.0002,
+            )
+        )
+        assert FanOutReplication().apply(g, ctx) is None
+
+    def test_refuses_pinned_pe(self):
+        mid = ReplicableEmit(name="mid")
+        mid.numprocesses = 2
+        g = self._fanout(mid)
+        assert FanOutReplication().apply(g, self._cheap_ctx(g)) is None
+
+    def test_refuses_root_pe(self):
+        g = WorkflowGraph("rootfan")
+        mid = ReplicableEmit(name="mid")
+        g.connect(mid, "output", Double(name="left"), "input")
+        g.connect(mid, "output", AddOne(name="right"), "input")
+        assert FanOutReplication().apply(g, self._cheap_ctx(g)) is None
+
+    def test_enables_full_chain_fusion(self):
+        """The point of the rule: after replication the whole graph
+        collapses into one fused PE per branch."""
+        g = self._fanout(ReplicableEmit(name="mid"))
+        ctx = self._cheap_ctx(g)
+        replicated = FanOutReplication().apply(g, ctx).graph
+        fused = ChainFusion().apply(replicated, ctx)
+        assert fused is not None
+        # src keeps its fan-out (to the two copies); each branch becomes a
+        # fully-fused 1:1 chain.
+        assert sorted(fused.chains) == [
+            ("mid~left", "left"), ("mid~right", "right")
+        ]
+
+
+class TestPartialFusion:
+    def _corridor(self, instances=2, head_instances=None, keys=(0,)):
+        g = WorkflowGraph("corridor")
+        src = Emit(name="src")
+        kd = KeyedDouble(name="kd", instances=head_instances or instances)
+        counter = StatefulCounter(name="counter", instances=instances)
+        g.connect(src, "output", kd, "input", grouping=GroupBy(list(keys)))
+        g.connect(kd, "output", counter, "input", grouping=GroupBy(list(keys)))
+        return g
+
+    def test_fuses_matching_corridor(self):
+        g = self._corridor()
+        result = PartialFusion().apply(g, _ctx(g))
+        assert result is not None
+        assert result.chains == (("kd", "counter"),)
+        fused = result.graph.pes[result.member_to_fused["kd"]]
+        assert isinstance(fused, FusedPE)
+        # The corridor pins the fused PE to the shared instance count.
+        assert fused.numprocesses == 2
+
+    def test_refuses_pin_mismatch(self):
+        g = self._corridor(instances=2, head_instances=3)
+        assert PartialFusion().apply(g, _ctx(g)) is None
+
+    def test_leaves_single_instance_corridor_to_chain_fusion(self):
+        g = self._corridor(instances=1, head_instances=1)
+        assert PartialFusion().apply(g, _ctx(g)) is None
+
+    def test_refuses_without_key_preserving(self):
+        g = WorkflowGraph("corridor")
+        src = Emit(name="src")
+        mid = Double(name="mid")
+        mid.numprocesses = 2
+        counter = StatefulCounter(name="counter", instances=2)
+        g.connect(src, "output", mid, "input", grouping=GroupBy([0]))
+        g.connect(mid, "output", counter, "input", grouping=GroupBy([0]))
+        assert PartialFusion().apply(g, _ctx(g)) is None
+
+    def test_refuses_different_keys(self):
+        g = WorkflowGraph("corridor")
+        src = Emit(name="src")
+        kd = KeyedDouble(name="kd", instances=2)
+        counter = StatefulCounter(name="counter", instances=2)
+        g.connect(src, "output", kd, "input", grouping=GroupBy([1]))
+        g.connect(kd, "output", counter, "input", grouping=GroupBy([0]))
+        assert PartialFusion().apply(g, _ctx(g)) is None
+
+    def test_chain_fusion_does_not_nest_into_corridor_fusion(self):
+        g = self._corridor()
+        partial = PartialFusion().apply(g, _ctx(g))
+        after = ChainFusion().apply(partial.graph, _ctx(partial.graph))
+        # Only the src remains unfused and it has fan-out of one edge into
+        # the (GroupBy-guarded) fused corridor: nothing left to fuse.
+        assert after is None
+
+
+class TestDefaultRules:
+    def test_order_is_narrow_rules_then_chain_sweep(self):
+        names = [rule.name for rule in default_rules()]
+        assert names == [
+            "dead_output_elimination",
+            "fanout_replication",
+            "partial_fusion",
+            "chain_fusion",
+        ]

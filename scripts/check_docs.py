@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""Docs-site gate: relative links resolve, capability matrix matches code.
+
+Two checks over ``docs/*.md`` and ``README.md``:
+
+1. **Link resolution** -- every relative markdown link target (after
+   stripping any ``#fragment``) must exist on disk.  External links
+   (``http(s)://``, ``mailto:``) and same-page anchors are skipped.
+2. **Capability-matrix drift** -- the table between the
+   ``capability-matrix`` markers in ``docs/capabilities.md`` must be
+   byte-identical to what the live mapping registry renders (same column
+   definitions as ``repro list``, via :data:`repro.cli._CAPABILITY_COLUMNS`).
+   Registering a new mapping or flipping a capability bit without
+   regenerating the docs fails CI.
+
+Usage::
+
+    python scripts/check_docs.py            # check, exit 1 on any failure
+    python scripts/check_docs.py --write    # regenerate the matrix block
+
+Exit status: 0 clean, 1 on broken links or matrix drift, 2 when the
+markers or files the checks need are missing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOCS_DIR = REPO_ROOT / "docs"
+CAPABILITIES_DOC = DOCS_DIR / "capabilities.md"
+MATRIX_BEGIN = "<!-- capability-matrix:begin -->"
+MATRIX_END = "<!-- capability-matrix:end -->"
+
+#: ``[text](target)`` -- target up to the first ``)`` or whitespace, which
+#: is all the docs tree uses (no titles, no nested parens in URLs).
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def _import_repro() -> None:
+    """Make ``repro`` importable from a plain checkout (no install)."""
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def doc_files() -> List[Path]:
+    """The markdown files under the gate: the docs tree plus the README."""
+    return sorted(DOCS_DIR.glob("*.md")) + [REPO_ROOT / "README.md"]
+
+
+def check_links(path: Path) -> List[str]:
+    """Broken relative links in one file, as printable error strings."""
+    errors: List[str] = []
+    for target in LINK_RE.findall(path.read_text(encoding="utf-8")):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        file_part = target.split("#", 1)[0]
+        if not file_part:
+            continue  # same-page anchor
+        if not (path.parent / file_part).resolve().exists():
+            rel = path.relative_to(REPO_ROOT)
+            errors.append(f"{rel}: broken link -> {target}")
+    return errors
+
+
+def render_matrix() -> str:
+    """The capability matrix as a markdown table, from the live registry."""
+    _import_repro()
+    from repro.cli import _CAPABILITY_COLUMNS
+    from repro.mappings import capability_table
+
+    headers = [header for header, _ in _CAPABILITY_COLUMNS] + ["description"]
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for name, caps in capability_table():
+        cells = [render(name, caps) for _, render in _CAPABILITY_COLUMNS]
+        cells[0] = f"`{cells[0]}`"
+        cells.append(caps.description)
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def check_matrix(write: bool) -> List[str]:
+    """Compare (or with ``write`` rewrite) the generated matrix block."""
+    if not CAPABILITIES_DOC.exists():
+        print(f"check_docs: {CAPABILITIES_DOC} does not exist", file=sys.stderr)
+        sys.exit(2)
+    text = CAPABILITIES_DOC.read_text(encoding="utf-8")
+    if MATRIX_BEGIN not in text or MATRIX_END not in text:
+        print(
+            f"check_docs: {CAPABILITIES_DOC.name} is missing the "
+            f"{MATRIX_BEGIN} / {MATRIX_END} markers",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+    head, rest = text.split(MATRIX_BEGIN, 1)
+    _stale, tail = rest.split(MATRIX_END, 1)
+    expected = f"{MATRIX_BEGIN}\n{render_matrix()}\n{MATRIX_END}"
+    if text == head + expected + tail:
+        return []
+    if write:
+        CAPABILITIES_DOC.write_text(head + expected + tail, encoding="utf-8")
+        print(f"regenerated capability matrix in {CAPABILITIES_DOC.name}")
+        return []
+    return [
+        f"docs/{CAPABILITIES_DOC.name}: capability matrix drifted from the "
+        f"mapping registry (run `python scripts/check_docs.py --write`)"
+    ]
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Check docs links and capability-matrix freshness."
+    )
+    parser.add_argument(
+        "--write",
+        action="store_true",
+        help="regenerate the capability matrix block instead of diffing it",
+    )
+    args = parser.parse_args(argv)
+
+    errors: List[str] = []
+    files = doc_files()
+    for path in files:
+        if not path.exists():
+            print(f"check_docs: {path} does not exist", file=sys.stderr)
+            return 2
+        errors.extend(check_links(path))
+    errors.extend(check_matrix(write=args.write))
+
+    if errors:
+        for error in errors:
+            print(error, file=sys.stderr)
+        print(f"\nFAIL: {len(errors)} docs problem(s)", file=sys.stderr)
+        return 1
+    print(f"OK: {len(files)} file(s) checked, links resolve, matrix is fresh")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -72,6 +72,14 @@ from repro.mappings import (
 from repro.metrics import RunResult
 from repro.planner import CostModel, Plan, Planner, fuse_graph
 from repro.platforms import CLOUD, HPC, LAPTOP, SERVER, PlatformProfile, get_platform
+from repro.scheduler import (
+    BackpressureError,
+    JobScheduler,
+    QuotaExceededError,
+    SchedulerService,
+    SchedulerStats,
+    TenantQuota,
+)
 from repro.state import (
     CrashInjector,
     InMemoryStateStore,
@@ -114,6 +122,7 @@ def run(
 
 __all__ = [
     "AllToOne",
+    "BackpressureError",
     "CLOUD",
     "Capabilities",
     "Chain",
@@ -131,6 +140,7 @@ __all__ = [
     "IterativePE",
     "Job",
     "JobCancelledError",
+    "JobScheduler",
     "JobState",
     "LAPTOP",
     "OneToAll",
@@ -139,13 +149,17 @@ __all__ = [
     "Planner",
     "PlatformProfile",
     "ProducerPE",
+    "QuotaExceededError",
     "RedisSnapshotStore",
     "RunConfig",
     "RunResult",
     "SERVER",
+    "SchedulerService",
+    "SchedulerStats",
     "Shuffle",
     "Snapshot",
     "StateStore",
+    "TenantQuota",
     "TerminationPolicy",
     "WorkflowGraph",
     "__version__",

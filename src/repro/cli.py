@@ -21,6 +21,10 @@ Examples::
     repro serve-redis --port 6399
     repro run sentiment-scoring --mapping cluster_redis --address 127.0.0.1:6399
     repro join 127.0.0.1:6399 repro:my-run --index 5
+
+    # multi-job daemon: clients submit named workflows, feed tuples and
+    # stream results over line-JSON/TCP (wire protocol: docs/cli.md)
+    repro serve --port 6388 --max-jobs 4
 """
 
 from __future__ import annotations
@@ -35,29 +39,17 @@ from repro.bench.harness import BenchConfig
 from repro.engine import Engine
 from repro.mappings import capability_table, mapping_names
 from repro.platforms.profiles import get_platform
-from repro.workflows import (
-    build_internal_extinction_workflow,
-    build_recoverable_sentiment_workflow,
-    build_seismic_phase1_workflow,
-    build_seismic_phase2_workflow,
-    build_sentiment_scoring_workflow,
-    build_sentiment_workflow,
+from repro.scheduler.catalog import (
+    build_named_workflow,
+    workflow_names,
+    workflow_params,
 )
 
-_WORKFLOWS = {
-    "galaxy": lambda args: build_internal_extinction_workflow(
-        scale=args.scale, heavy=args.heavy
-    ),
-    "seismic": lambda args: build_seismic_phase1_workflow(stations=args.stations),
-    "seismic2": lambda args: build_seismic_phase2_workflow(stations=min(args.stations, 16)),
-    "sentiment": lambda args: build_sentiment_workflow(articles=args.articles),
-    "sentiment-recoverable": lambda args: build_recoverable_sentiment_workflow(
-        articles=args.articles
-    ),
-    "sentiment-scoring": lambda args: build_sentiment_scoring_workflow(
-        articles=args.articles
-    ),
-}
+
+def _build_workflow(name: str, args: argparse.Namespace):
+    """Build a catalog workflow from the CLI's workload flags."""
+    params = {key: getattr(args, key) for key in workflow_params(name)}
+    return build_named_workflow(name, **params)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -74,7 +66,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_p = sub.add_parser("run", help="run one workflow with one mapping")
-    run_p.add_argument("workflow", choices=sorted(_WORKFLOWS))
+    run_p.add_argument("workflow", choices=workflow_names())
     run_p.add_argument(
         "--mapping",
         default="auto",
@@ -155,7 +147,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "plan",
         help="explain what the cost-based planner would do to a workflow",
     )
-    plan_p.add_argument("workflow", choices=sorted(_WORKFLOWS))
+    plan_p.add_argument("workflow", choices=workflow_names())
     plan_p.add_argument("--platform", default="laptop")
     plan_p.add_argument("--seed", type=int, default=0)
     plan_p.add_argument("--scale", type=int, default=1, help="galaxy workload multiplier")
@@ -188,11 +180,56 @@ def _build_parser() -> argparse.ArgumentParser:
     join_p.add_argument(
         "--index", type=int, default=0, help="worker index (names the consumer)"
     )
+
+    daemon_p = sub.add_parser(
+        "serve",
+        help="serve the multi-job scheduler over line-JSON/TCP (repro daemon)",
+        description="Run a JobScheduler daemon: clients submit catalog "
+        "workflows, feed tuples and stream results over a newline-"
+        "delimited JSON protocol (see docs/cli.md) without importing the "
+        "library.",
+    )
+    daemon_p.add_argument("--host", default="127.0.0.1")
+    daemon_p.add_argument(
+        "--port", type=int, default=6388, help="0 picks an ephemeral port"
+    )
+    daemon_p.add_argument("--processes", type=int, default=8)
+    daemon_p.add_argument("--platform", default="laptop")
+    daemon_p.add_argument("--time-scale", type=float, default=0.02)
+    daemon_p.add_argument("--seed", type=int, default=0)
+    daemon_p.add_argument(
+        "--max-jobs",
+        type=int,
+        default=4,
+        metavar="N",
+        help="admission cap: at most N jobs enact concurrently",
+    )
+    daemon_p.add_argument(
+        "--pool-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="warm deployments kept per mapping (default: --max-jobs)",
+    )
+    daemon_p.add_argument(
+        "--high-water",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="max tuples a queued job may stage before backpressure",
+    )
+    daemon_p.add_argument(
+        "--backpressure",
+        choices=["block", "error"],
+        default="block",
+        help="what an over-high-water send does while a job waits for "
+        "admission",
+    )
     return parser
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    graph, inputs = _WORKFLOWS[args.workflow](args)
+    graph, inputs = _build_workflow(args.workflow, args)
     extra = {"address": args.address} if args.address else {}
     engine = Engine(
         mapping=args.mapping,
@@ -277,7 +314,7 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     from repro.mappings.base import normalize_inputs
     from repro.planner import Planner
 
-    graph, inputs = _WORKFLOWS[args.workflow](args)
+    graph, inputs = _build_workflow(args.workflow, args)
     provided = normalize_inputs(graph, inputs)
     plan = Planner.default().plan(
         graph,
@@ -321,7 +358,7 @@ _CAPABILITY_COLUMNS = (
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
-    print("workflows  :", ", ".join(sorted(_WORKFLOWS)))
+    print("workflows  :", ", ".join(workflow_names()))
     print("experiments:", ", ".join(list_experiments()))
     print("mappings   :")
     rows = capability_table()
@@ -365,6 +402,42 @@ def _cmd_join(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.scheduler import JobScheduler, SchedulerService
+
+    engine = Engine(
+        mapping="auto",
+        platform=get_platform(args.platform),
+        processes=args.processes,
+        time_scale=args.time_scale,
+        seed=args.seed,
+    )
+    scheduler = JobScheduler(
+        engine,
+        max_concurrent=args.max_jobs,
+        pool_size=args.pool_size,
+        high_water=args.high_water,
+        backpressure=args.backpressure,
+    )
+    service = SchedulerService(scheduler, host=args.host, port=args.port).start()
+    # Flushed immediately so wrappers (tests, orchestrators) spawning the
+    # daemon as a subprocess can read the bound address without a TTY.
+    print(
+        f"repro scheduler serving line-JSON on {service.address} "
+        f"(Ctrl-C to stop)",
+        flush=True,
+    )
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.close()
+        scheduler.close()
+        engine.close()
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -373,6 +446,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench": _cmd_bench,
         "list": _cmd_list,
         "serve-redis": _cmd_serve_redis,
+        "serve": _cmd_serve,
         "join": _cmd_join,
     }
     return handlers[args.command](args)

@@ -45,7 +45,7 @@ from repro.core.exceptions import UnsupportedFeatureError
 from repro.core.fluent import coerce_graph
 from repro.core.graph import WorkflowGraph
 from repro.jobs import Job, JobState
-from repro.mappings.base import Deployment, InputSpec, Mapping
+from repro.mappings.base import Deployment, DeploymentPool, InputSpec, Mapping
 from repro.mappings.registry import get_capabilities, get_mapping, select_mapping
 from repro.metrics.result import RunResult
 from repro.platforms.profiles import LAPTOP, PlatformProfile, get_platform
@@ -211,24 +211,10 @@ class RunConfig:
         return opts
 
     def resolved_platform(self) -> PlatformProfile:
+        """The platform as a :class:`PlatformProfile` (names looked up)."""
         if isinstance(self.platform, PlatformProfile):
             return self.platform
         return get_platform(self.platform)
-
-
-class _Session:
-    """One mapping's warm-deployment slot within an engine.
-
-    The deployment is exclusive while a job runs on it (overlapping
-    submissions fall back to ephemeral cold deployments -- warmth is a
-    sequential-reuse optimization, never a correctness dependency).
-    """
-
-    __slots__ = ("deployment", "busy")
-
-    def __init__(self) -> None:
-        self.deployment: Optional[Deployment] = None
-        self.busy = False
 
 
 class Engine:
@@ -278,11 +264,20 @@ class Engine:
         self._engines: Dict[str, Mapping] = {}
         self._closed = False
         self._lock = threading.Lock()
-        self._sessions: Dict[str, _Session] = {}
+        # One size-1 DeploymentPool per mapping: the warm *session* reused
+        # by consecutive submissions (overlap falls back to ephemeral).
+        self._sessions: Dict[str, DeploymentPool] = {}
         self._jobs: List[Job] = []
 
     @classmethod
     def from_config(cls, config: RunConfig) -> "Engine":
+        """Build an engine from an explicit frozen :class:`RunConfig`.
+
+        Equivalent to unpacking the config into the constructor; use it when
+        configurations are stored or passed around.  Raises ``TypeError``
+        when ``config.options`` contains keys that look like misspelled
+        :class:`RunConfig` fields.
+        """
         _check_option_typos(config.options)
         engine = cls.__new__(cls)
         engine.config = config
@@ -297,6 +292,7 @@ class Engine:
     # ----------------------------------------------------------- resolution
     @property
     def platform(self) -> PlatformProfile:
+        """The resolved :class:`PlatformProfile` this engine enacts on."""
         return self._platform
 
     def _ensure_open(self) -> None:
@@ -371,6 +367,9 @@ class Engine:
         mapping: Optional[str] = None,
         time_scale: Optional[float] = None,
         deadline: Optional[float] = None,
+        scheduler: Optional[Any] = None,
+        tenant: Optional[str] = None,
+        priority: int = 0,
         **options: Any,
     ) -> Job:
         """Start enacting a workflow and return its :class:`~repro.jobs.Job`.
@@ -385,8 +384,46 @@ class Engine:
         when the input closes.  ``deadline`` (real seconds) cancels the
         job when exceeded.  Overlapping submissions on one mapping fall
         back to ephemeral cold deployments (a session's warmth is
-        exclusive to one job at a time).
+        exclusive to one job at a time) -- counted ``deploy_busy_fallback``
+        on the run.
+
+        Passing ``scheduler=`` (a :class:`repro.scheduler.JobScheduler`
+        bound to this engine) routes the submission through scheduled
+        admission instead: the job queues under ``tenant`` fair-share
+        accounting at ``priority`` until a shared warm deployment is free,
+        eliminating busy fallbacks.  ``tenant``/``priority`` are only
+        meaningful with a scheduler and raise ``TypeError`` otherwise.
+
+        Raises
+        ------
+        RuntimeError
+            On a closed engine.
+        TypeError
+            On misspelled engine-level options, or ``tenant``/``priority``
+            without a ``scheduler``.
+        ValueError
+            When ``scheduler`` is bound to a different engine.
+        UnsupportedFeatureError
+            When an option needs a capability the mapping lacks.
         """
+        if scheduler is not None:
+            if scheduler.engine is not self:
+                raise ValueError(
+                    "scheduler= is bound to a different Engine; submit "
+                    "through that engine (or build the scheduler over this "
+                    "one)"
+                )
+            return scheduler.submit(
+                workflow, inputs, processes=processes, seed=seed,
+                mapping=mapping, time_scale=time_scale, deadline=deadline,
+                tenant=tenant if tenant is not None else "default",
+                priority=priority, **options,
+            )
+        if tenant is not None or priority != 0:
+            raise TypeError(
+                "tenant=/priority= apply to scheduled submission only; "
+                "pass scheduler= as well"
+            )
         return self._submit(
             workflow, inputs, processes=processes, seed=seed, mapping=mapping,
             time_scale=time_scale, deadline=deadline, warm=True, options=options,
@@ -404,7 +441,52 @@ class Engine:
         warm: bool,
         options: Dict[str, Any],
     ) -> Job:
-        """Shared resolution/gating behind :meth:`run` and :meth:`submit`."""
+        """Direct (unscheduled) submission behind :meth:`run` and :meth:`submit`."""
+        graph, name, procs, merged = self._resolve_submission(
+            workflow, processes, mapping, options
+        )
+        deployment, busy = (None, False)
+        if warm:
+            deployment, busy = self._lease(name, procs)
+        try:
+            job = self._start_job(
+                name, graph, inputs, procs, merged,
+                time_scale=time_scale, seed=seed, deadline=deadline,
+                deployment=deployment,
+                # run() forces the buffered wiring: the classic one-shot
+                # enactment path, byte-identical outputs and counters --
+                # and skips the results tap its wait()-only job never reads.
+                stream=None if warm else False,
+                results_channel=warm,
+                busy_fallback=busy,
+            )
+        except BaseException:
+            if deployment is not None:
+                # Validation failures raise before the deployment is ever
+                # touched (submit wires threads last), so its warmth -- and
+                # the spin-up it represents -- survives for the next job.
+                self._release(name, deployment, reusable=True)
+            raise
+        if deployment is not None:
+            leased = deployment
+            job._on_terminal(
+                lambda j: self._release(name, leased, reusable=j.state is JobState.DONE)
+            )
+        return job
+
+    def _resolve_submission(
+        self,
+        workflow: Union[WorkflowGraph, Any],
+        processes: Optional[int],
+        mapping: Optional[str],
+        options: Dict[str, Any],
+    ) -> tuple:
+        """Coerce, resolve and capability-gate one submission.
+
+        Shared by the direct path and the scheduler's admission queue, so
+        both reject bad submissions synchronously at submit time.  Returns
+        ``(graph, mapping_name, processes, merged_options)``.
+        """
         self._ensure_open()
         _check_option_typos(options)
         graph = coerce_graph(workflow)
@@ -487,105 +569,87 @@ class Engine:
                     f"a server address was given but mapping {name!r} is "
                     f"not networked; use cluster_redis or drop address="
                 )
+        return graph, name, procs, merged
+
+    def _start_job(
+        self,
+        name: str,
+        graph: WorkflowGraph,
+        inputs: InputSpec,
+        processes: int,
+        merged: Dict[str, Any],
+        *,
+        time_scale: Optional[float],
+        seed: Optional[int],
+        deadline: Optional[float],
+        deployment: Optional[Deployment],
+        stream: Optional[bool],
+        results_channel: bool,
+        busy_fallback: bool = False,
+    ) -> Job:
+        """Hand one resolved submission to its mapping and track the job.
+
+        The single funnel onto ``Mapping.submit`` for both the direct path
+        and the scheduler, so engine-level defaults (time scale, seed) and
+        job bookkeeping (``close()`` cancels every live job) apply
+        identically.  Deployment leasing stays with the caller.
+        """
         engine = self._engine_for(name)
-        deployment = self._lease(name, engine, procs) if warm else None
-        try:
-            job = engine.submit(
-                graph,
-                inputs=inputs,
-                processes=procs,
-                platform=self._platform,
-                time_scale=time_scale if time_scale is not None else self.config.time_scale,
-                seed=seed if seed is not None else self.config.seed,
-                deployment=deployment,
-                deadline=deadline,
-                # run() forces the buffered wiring: the classic one-shot
-                # enactment path, byte-identical outputs and counters --
-                # and skips the results tap its wait()-only job never reads.
-                stream=None if warm else False,
-                results_channel=warm,
-                **merged,
-            )
-        except BaseException:
-            if deployment is not None:
-                # Validation failures raise before the deployment is ever
-                # touched (submit wires threads last), so its warmth -- and
-                # the spin-up it represents -- survives for the next job.
-                self._release(name, deployment, reusable=True)
-            raise
-        with self._lock:
-            self._jobs.append(job)
-        job._on_terminal(lambda j: self._job_done(name, deployment, j))
+        job = engine.submit(
+            graph,
+            inputs=inputs,
+            processes=processes,
+            platform=self._platform,
+            time_scale=time_scale if time_scale is not None else self.config.time_scale,
+            seed=seed if seed is not None else self.config.seed,
+            deployment=deployment,
+            deadline=deadline,
+            stream=stream,
+            results_channel=results_channel,
+            busy_fallback=busy_fallback,
+            **merged,
+        )
+        self._adopt_job(job)
         return job
 
+    def _adopt_job(self, job: Job) -> None:
+        """Track a job until terminal so :meth:`close` can cancel it."""
+        with self._lock:
+            self._jobs.append(job)
+        job._on_terminal(self._forget_job)
+
+    def _forget_job(self, job: Job) -> None:
+        with self._lock:
+            if job in self._jobs:
+                self._jobs.remove(job)
+
     # -------------------------------------------------------------- sessions
-    def _lease(
-        self, name: str, engine: Mapping, processes: int
-    ) -> Optional[Deployment]:
+    def _lease(self, name: str, processes: int) -> tuple:
         """Borrow the mapping's session deployment (deploying if needed).
 
-        Returns ``None`` when the session is busy with another live job --
-        the caller then runs on an ephemeral cold deployment.  An existing
-        deployment that no longer matches the requested settings is torn
-        down and replaced (cold again).
+        Returns ``(deployment, busy)`` from the mapping's size-1
+        :class:`DeploymentPool`: ``(None, True)`` when the session is busy
+        with another live job -- the caller then runs on an ephemeral cold
+        deployment.  An existing deployment that no longer matches the
+        requested settings is torn down and replaced (cold again).
         """
-        to_teardown: Optional[Deployment] = None
         with self._lock:
-            session = self._sessions.setdefault(name, _Session())
-            if session.busy:
-                return None
-            deployment = session.deployment
-            if deployment is not None and not deployment.compatible(
-                name, processes, self._platform
-            ):
-                to_teardown, deployment, session.deployment = deployment, None, None
-            if deployment is not None:
-                # Reused, so the spin-up is already paid: this submission
-                # (and any later one) counts as warm.
-                deployment.warm = True
-            session.busy = True
-        if to_teardown is not None:
-            to_teardown.teardown()
-        if deployment is not None:
-            return deployment
-        # Deploy outside the engine lock: spinning up a pool/redisim server
-        # must not block unrelated submissions (or close()) on other
-        # mappings.  The session is already marked busy, so nobody races us.
-        try:
-            deployment = engine.deploy(processes, self._platform)
-        except BaseException:
-            with self._lock:
-                session.busy = False
-            raise
-        with self._lock:
-            if self._sessions.get(name) is session:
-                session.deployment = deployment
-                return deployment
-        # The engine closed underneath us: run this one job ephemerally.
-        deployment.teardown()
-        return None
+            pool = self._sessions.get(name)
+            if pool is None:
+                pool = DeploymentPool(self._engine_for(name), size=1)
+                self._sessions[name] = pool
+        return pool.try_acquire(processes, self._platform)
 
     def _release(self, name: str, deployment: Deployment, reusable: bool) -> None:
         """Return a leased deployment; failed runs forfeit their warmth."""
         with self._lock:
-            session = self._sessions.get(name)
-            if session is None or session.deployment is not deployment:
-                # The engine was closed (or the session replaced) while the
-                # job ran; the deployment is no longer tracked.
-                reusable = False
-            else:
-                session.busy = False
-                if not reusable:
-                    session.deployment = None
-        if not reusable:
+            pool = self._sessions.get(name)
+        if pool is None:
+            # The engine was closed while the job ran; the deployment is no
+            # longer tracked.
             deployment.teardown()
-
-    def _job_done(self, name: str, deployment: Optional[Deployment], job: Job) -> None:
-        with self._lock:
-            if job in self._jobs:
-                self._jobs.remove(job)
-        if deployment is not None:
-            self._release(name, deployment, reusable=job.state is JobState.DONE)
+            return
+        pool.release(deployment, reusable=reusable)
 
     def with_options(self, **changes: Any) -> "Engine":
         """A new engine with updated settings (the caches start fresh).
@@ -621,16 +685,15 @@ class Engine:
             already = self._closed
             self._closed = True
             jobs = list(self._jobs)
-            sessions, self._sessions = list(self._sessions.values()), {}
-        if already and not jobs and not sessions:
+            pools, self._sessions = list(self._sessions.values()), {}
+        if already and not jobs and not pools:
             return
         for job in jobs:
             job.cancel(reason="engine closed")
         for job in jobs:
             job._terminal.wait(timeout=5.0)
-        for session in sessions:
-            if session.deployment is not None:
-                session.deployment.teardown()
+        for pool in pools:
+            pool.close()
         self._engines.clear()
 
     def __enter__(self) -> "Engine":

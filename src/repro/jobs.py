@@ -94,10 +94,12 @@ class Job:
         self._cancel_fn: Optional[Callable[[], None]] = None
         self._deadline_timer: Optional[threading.Timer] = None
         self._terminal_hooks: List[Callable[["Job"], None]] = []
+        self._first_result_hook: Optional[Callable[[], None]] = None
 
     # ------------------------------------------------------------- inspection
     @property
     def state(self) -> JobState:
+        """The current :class:`JobState` (thread-safe snapshot)."""
         with self._lock:
             return self._state
 
@@ -237,6 +239,7 @@ class Job:
         close: Callable[[], None],
         cancel: Callable[[], None],
     ) -> None:
+        """Install the enactment-side callbacks (before hand-out)."""
         self._send_fn = send
         self._close_fn = close
         self._cancel_fn = cancel
@@ -264,8 +267,22 @@ class Job:
                 return
         hook(self)
 
+    def _set_first_result_hook(self, hook: Callable[[], None]) -> None:
+        """Register a hook fired once, just before the first emitted result.
+
+        The scheduler's submit->first-result latency probe.  Installing it
+        after results already flowed fires it on the *next* emission (close
+        enough for a probe armed at submit time, before any enactment).
+        """
+        with self._lock:
+            self._first_result_hook = hook
+
     def _emit(self, key: str, value: Any) -> None:
         """Collector tap target: one streamed result pair."""
+        with self._lock:
+            hook, self._first_result_hook = self._first_result_hook, None
+        if hook is not None:
+            hook()
         self._results_q.put((key, value))
 
     def _mark_running(self) -> None:

@@ -387,6 +387,206 @@ class Deployment:
         return ", ".join(parts) + (", warm)" if self.warm else ", cold)")
 
 
+class DeploymentPool:
+    """Up to ``size`` warm :class:`Deployment` slots of one mapping.
+
+    Generalizes the engine's single warm session into *pooled leasing*:
+    :meth:`try_acquire` hands out an idle deployment (deploying a fresh one
+    while below capacity), :meth:`release` returns it for the next job.  The
+    :class:`~repro.engine.Engine` keeps a size-1 pool per mapping (busy ->
+    ephemeral cold fallback, the PR-5 contract); the
+    :class:`~repro.scheduler.JobScheduler` keeps size-N pools and queues
+    jobs instead of falling back.
+
+    A leased deployment is exclusive to one job.  Idle deployments that no
+    longer match the requested settings (processes / platform changed) are
+    torn down and replaced cold.  Deploys happen outside the pool lock so a
+    slow spin-up never blocks releases or unrelated acquires.
+    """
+
+    def __init__(
+        self,
+        mapping: "Mapping",
+        size: int = 1,
+        on_release: Optional[Callable[[], None]] = None,
+    ) -> None:
+        if size < 1:
+            raise ValueError(f"pool size must be >= 1, got {size}")
+        self._mapping = mapping
+        self._size = size
+        self._on_release = on_release
+        self._lock = threading.Lock()
+        self._idle: List[Deployment] = []
+        self._leased: List[Deployment] = []
+        self._deploying = 0
+        self._closed = False
+
+    @property
+    def size(self) -> int:
+        """Maximum number of concurrently live deployments."""
+        return self._size
+
+    @property
+    def deployment(self) -> Optional[Deployment]:
+        """The pool's sole live deployment, or ``None`` when cold.
+
+        Compatibility accessor for size-1 (engine session) pools; with a
+        larger pool it returns an arbitrary live deployment.
+        """
+        with self._lock:
+            live = self._idle + self._leased
+            return live[0] if live else None
+
+    def free_slots(self) -> int:
+        """Slots a :meth:`try_acquire` could fill right now without waiting."""
+        with self._lock:
+            if self._closed:
+                return 0
+            busy = len(self._leased) + self._deploying
+            return max(0, self._size - busy)
+
+    def try_acquire(
+        self, processes: int, platform: PlatformProfile
+    ) -> Tuple[Optional[Deployment], bool]:
+        """Lease a deployment, or report the pool busy.
+
+        Returns ``(deployment, busy)``: a compatible idle deployment (now
+        flagged ``warm``), a freshly deployed cold one while below capacity,
+        or ``(None, True)`` when every slot is leased/deploying.  A closed
+        pool returns ``(None, False)`` -- the caller runs ephemerally.
+        Stale idle deployments (incompatible settings) are torn down and
+        their slots reused.
+        """
+        stale: List[Deployment] = []
+        with self._lock:
+            if self._closed:
+                return None, False
+            keep: List[Deployment] = []
+            for candidate in self._idle:
+                if candidate.compatible(self._mapping.name, processes, platform):
+                    keep.append(candidate)
+                else:
+                    stale.append(candidate)
+            self._idle = keep
+            if self._idle:
+                deployment = self._idle.pop()
+                # Reused, so the spin-up is already paid: this submission
+                # (and any later one) counts as warm.
+                deployment.warm = True
+                self._leased.append(deployment)
+                for doomed in stale:
+                    doomed.teardown()
+                return deployment, False
+            if len(self._leased) + self._deploying >= self._size:
+                busy = not stale  # a torn-down stale slot frees capacity
+                if busy:
+                    return None, True
+            self._deploying += 1
+        for doomed in stale:
+            doomed.teardown()
+        # Deploy outside the pool lock: spinning up a worker pool / redisim
+        # server must not block releases (or close()) meanwhile.  The
+        # ``_deploying`` count reserves our slot, so nobody races us.
+        try:
+            deployment = self._mapping.deploy(processes, platform)
+        except BaseException:
+            with self._lock:
+                self._deploying -= 1
+            raise
+        with self._lock:
+            self._deploying -= 1
+            if not self._closed:
+                self._leased.append(deployment)
+                return deployment, False
+        # The pool closed underneath us: run this one job ephemerally.
+        deployment.teardown()
+        return None, False
+
+    def prewarm(
+        self, processes: int, platform: PlatformProfile, count: Optional[int] = None
+    ) -> int:
+        """Deploy idle capacity ahead of demand; returns deployments added.
+
+        Fills up to ``count`` free slots (default: all of them).  Prewarmed
+        deployments count ``deploy_warm`` on their first lease -- the
+        spin-up happened here, outside any job.
+        """
+        added = 0
+        budget = self._size if count is None else count
+        while added < budget:
+            with self._lock:
+                if self._closed:
+                    break
+                live = len(self._idle) + len(self._leased) + self._deploying
+                if live >= self._size:
+                    break
+                self._deploying += 1
+            try:
+                deployment = self._mapping.deploy(processes, platform)
+            except BaseException:
+                with self._lock:
+                    self._deploying -= 1
+                raise
+            deployment.warm = True
+            with self._lock:
+                self._deploying -= 1
+                if self._closed:
+                    break
+                self._idle.append(deployment)
+                added += 1
+        else:
+            return added
+        deployment.teardown()  # closed mid-prewarm
+        return added
+
+    def release(self, deployment: Deployment, reusable: bool = True) -> None:
+        """Return a leased deployment; non-reusable ones are torn down.
+
+        Failed jobs forfeit their deployment's warmth (``reusable=False``)
+        so a poisoned worker pool never serves the next job.  Releasing a
+        deployment the pool no longer tracks (closed meanwhile) tears it
+        down regardless.  Fires the pool's ``on_release`` callback last, so
+        schedulers can re-run admission.
+        """
+        teardown = None
+        with self._lock:
+            if deployment in self._leased:
+                self._leased.remove(deployment)
+                if reusable and not self._closed:
+                    self._idle.append(deployment)
+                else:
+                    teardown = deployment
+            else:
+                teardown = deployment
+            callback = self._on_release
+        if teardown is not None:
+            teardown.teardown()
+        if callback is not None:
+            callback()
+
+    def close(self) -> None:
+        """Tear down every tracked deployment; the pool refuses further leases.
+
+        Deployments still leased to straggler jobs are torn down too (the
+        owner gives jobs a grace period first); their eventual
+        :meth:`release` is a no-op teardown.  Idempotent.
+        """
+        with self._lock:
+            self._closed = True
+            doomed = self._idle + self._leased
+            self._idle, self._leased = [], []
+        for deployment in doomed:
+            deployment.teardown()
+
+    def __repr__(self) -> str:
+        with self._lock:
+            state = "closed" if self._closed else "open"
+            return (
+                f"DeploymentPool({self._mapping.name!r}, size={self._size}, "
+                f"idle={len(self._idle)}, leased={len(self._leased)}, {state})"
+            )
+
+
 class LiveFeed:
     """Live input bridge between a :class:`~repro.jobs.Job` and its enactment.
 
@@ -672,6 +872,7 @@ class Mapping:
         deadline: Optional[float] = None,
         stream: Optional[bool] = None,
         results_channel: bool = True,
+        busy_fallback: bool = False,
         **options: Any,
     ) -> Job:
         """Start enacting ``graph`` and return a live :class:`Job` handle.
@@ -692,9 +893,12 @@ class Mapping:
 
         ``deployment`` is a warm :class:`Deployment` from :meth:`deploy`;
         ``None`` runs cold with ephemeral resources, exactly like
-        :meth:`execute`.  ``deadline`` (real seconds) cancels the job when
-        exceeded.  Validation errors raise here, synchronously; enactment
-        errors surface from ``job.wait()`` / ``job.results()``.
+        :meth:`execute`.  ``busy_fallback=True`` marks a cold ephemeral run
+        taken only because the caller's warm slot was occupied (the
+        ``deploy_busy_fallback`` counter), distinguishing it from a plain
+        first-use cold deploy.  ``deadline`` (real seconds) cancels the job
+        when exceeded.  Validation errors raise here, synchronously;
+        enactment errors surface from ``job.wait()`` / ``job.results()``.
         """
         options = dict(options)
         plan_spec = pop_plan_options(options)
@@ -737,12 +941,12 @@ class Mapping:
         if stream:
             self._wire_streaming(
                 job, graph, inputs, processes, platform, time_scale, seed,
-                options, plan, deployment, tap,
+                options, plan, deployment, tap, busy_fallback,
             )
         else:
             self._wire_buffered(
                 job, graph, inputs, processes, platform, time_scale, seed,
-                options, plan, deployment, tap,
+                options, plan, deployment, tap, busy_fallback,
             )
         job._arm_deadline(deadline)
         return job
@@ -761,6 +965,7 @@ class Mapping:
         plan: Optional[Plan],
         deployment: Optional[Deployment],
         tap: Optional[Callable[[str, Any], None]],
+        busy_fallback: bool = False,
     ) -> None:
         control = StreamControl()
         # For a *live* submission ``inputs=None`` means "no initial inputs,
@@ -775,7 +980,7 @@ class Mapping:
         )
         feed = LiveFeed(state.provided, cancelled=control.cancelled)
         state.feed = feed
-        self._note_deployment(state, deployment)
+        self._note_deployment(state, deployment, busy_fallback)
         roots = {pe.name for pe in graph.roots()}
 
         def send(target: Any, tuples: Any) -> None:
@@ -819,6 +1024,7 @@ class Mapping:
         plan: Optional[Plan],
         deployment: Optional[Deployment],
         tap: Optional[Callable[[str, Any], None]],
+        busy_fallback: bool = False,
     ) -> None:
         # Initial inputs are materialized now (surfacing spec errors at
         # submit time); sends append under the lock until the input closes.
@@ -852,7 +1058,7 @@ class Mapping:
                     graph, provided, processes, platform, time_scale, seed,
                     options, plan, tap=tap,
                 )
-                self._note_deployment(state, deployment)
+                self._note_deployment(state, deployment, busy_fallback)
                 result = self._run_measured(state)
             except BaseException as exc:  # noqa: BLE001 - driver boundary
                 job._fail(exc)
@@ -867,10 +1073,21 @@ class Mapping:
         ).start()
 
     @staticmethod
-    def _note_deployment(state: EnactmentState, deployment: Optional[Deployment]) -> None:
-        """Counter-stamp whether this submission reused a warm deployment."""
+    def _note_deployment(
+        state: EnactmentState,
+        deployment: Optional[Deployment],
+        busy_fallback: bool = False,
+    ) -> None:
+        """Counter-stamp how this submission got its enactment resources.
+
+        A provided deployment counts ``deploy_warm`` (reused) or
+        ``deploy_cold`` (first use); an ephemeral run taken only because the
+        caller's warm slot was busy counts ``deploy_busy_fallback``.
+        """
         if deployment is not None:
             state.counters.inc("deploy_warm" if deployment.warm else "deploy_cold")
+        elif busy_fallback:
+            state.counters.inc("deploy_busy_fallback")
 
     # ------------------------------------------------------ enactment stages
     def _check_enactable(

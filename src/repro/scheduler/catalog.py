@@ -1,0 +1,82 @@
+"""Named workflow catalog shared by ``repro run``/``plan`` and the daemon.
+
+The CLI and the ``repro serve`` wire protocol both address workflows by
+name (clients of the daemon cannot ship Python graphs over a socket), so
+the name -> builder table lives here once.  Each entry validates its
+accepted parameters, turning a typo'd ``{"artcles": 10}`` into a
+synchronous error instead of a silently default-sized run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.core.graph import WorkflowGraph
+from repro.workflows import (
+    build_internal_extinction_workflow,
+    build_recoverable_sentiment_workflow,
+    build_seismic_phase1_workflow,
+    build_seismic_phase2_workflow,
+    build_sentiment_scoring_workflow,
+    build_sentiment_workflow,
+)
+
+
+def _seismic2(stations: int = 50) -> Tuple[WorkflowGraph, List[int]]:
+    # Station pairs grow quadratically in phase 2; the CLI has always
+    # clamped the shared --stations default down to a sane phase-2 size.
+    return build_seismic_phase2_workflow(stations=min(stations, 16))
+
+
+#: name -> (builder, parameter names the builder accepts from callers).
+_CATALOG: Dict[str, Tuple[Any, Tuple[str, ...]]] = {
+    "galaxy": (build_internal_extinction_workflow, ("scale", "heavy")),
+    "seismic": (build_seismic_phase1_workflow, ("stations",)),
+    "seismic2": (_seismic2, ("stations",)),
+    "sentiment": (build_sentiment_workflow, ("articles",)),
+    "sentiment-recoverable": (build_recoverable_sentiment_workflow, ("articles",)),
+    "sentiment-scoring": (build_sentiment_scoring_workflow, ("articles",)),
+}
+
+
+def workflow_names() -> List[str]:
+    """The catalog's workflow names, sorted."""
+    return sorted(_CATALOG)
+
+
+def workflow_params(name: str) -> Tuple[str, ...]:
+    """The parameter names ``build_named_workflow(name, ...)`` accepts.
+
+    Raises ``KeyError``-flavoured ``ValueError`` on an unknown name.
+    """
+    return _entry(name)[1]
+
+
+def build_named_workflow(
+    name: str, **params: Any
+) -> Tuple[WorkflowGraph, Any]:
+    """Build a catalog workflow by name; returns ``(graph, default_inputs)``.
+
+    ``params`` must be a subset of :func:`workflow_params` for that name
+    (e.g. ``scale``/``heavy`` for ``galaxy``, ``articles`` for the
+    sentiment family); unknown keys raise ``ValueError`` naming the
+    accepted ones.
+    """
+    builder, accepted = _entry(name)
+    unknown = sorted(set(params) - set(accepted))
+    if unknown:
+        raise ValueError(
+            f"workflow {name!r} does not accept parameter(s) "
+            f"{', '.join(repr(k) for k in unknown)}; accepted: "
+            f"{', '.join(accepted) or '(none)'}"
+        )
+    return builder(**params)
+
+
+def _entry(name: str) -> Tuple[Any, Tuple[str, ...]]:
+    try:
+        return _CATALOG[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workflow {name!r}; available: {', '.join(workflow_names())}"
+        ) from None

@@ -1,0 +1,595 @@
+"""Multi-job admission over shared warm deployment pools.
+
+:class:`JobScheduler` is the service layer the paper's long-lived enactment
+scenario needs: where ``Engine.submit`` serves one job per mapping at a
+time (busy submissions fall back to cold ephemeral deployments), the
+scheduler multiplexes N concurrent :class:`~repro.jobs.Job` handles over a
+:class:`~repro.mappings.base.DeploymentPool` of warm deployments per
+mapping and *queues* the overflow instead of paying cold spin-ups.
+
+Admission control, in decision order:
+
+1. **Concurrency cap** -- at most ``max_concurrent`` jobs enact at once.
+2. **Fair share** -- among tenants with admissible work, the next slot
+   goes to the tenant with the largest *weighted deficit*
+   (``total_admitted * weight_share - admitted``): over time every tenant
+   receives slots proportional to its :class:`TenantQuota` weight,
+   regardless of submission bursts.  Ties break toward the higher weight,
+   then submission order.
+3. **Priority with aging** -- within the chosen tenant, the job with the
+   highest *effective* priority (``priority + waited/aging_interval``)
+   wins, so a low-priority job's rank rises the longer it waits and
+   starvation is impossible.  Ties break FIFO.
+
+Hard per-tenant ``max_outstanding`` quotas reject at submit time
+(:class:`QuotaExceededError`); queue-depth backpressure surfaces through
+``Job.send`` on not-yet-admitted jobs (block or
+:class:`BackpressureError`, per ``backpressure=``).  Lifecycle metrics
+live on :attr:`JobScheduler.stats` (:class:`SchedulerStats`).
+
+The scheduler returns the same :class:`~repro.jobs.Job` handle as direct
+submission: callers ``send``/``results``/``wait`` identically, and
+``Engine.submit(scheduler=...)`` routes through here so the in-process and
+daemon (``repro serve``) paths share one code path.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.jobs import Job, JobCancelledError, JobState
+from repro.mappings.base import DeploymentPool, InputSpec, expand_send
+from repro.mappings.registry import get_capabilities
+
+
+class QuotaExceededError(RuntimeError):
+    """A tenant's ``max_outstanding`` quota refused a submission."""
+
+
+class BackpressureError(RuntimeError):
+    """``Job.send`` on a queued job overflowed the staging high-water mark."""
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant admission policy.
+
+    ``weight`` scales the tenant's fair share of admission slots (a
+    weight-3 tenant receives three slots for every one a weight-1 tenant
+    gets, when both have work queued).  ``max_outstanding`` caps the
+    tenant's queued+running jobs; further submissions raise
+    :class:`QuotaExceededError` until jobs finish.  ``None`` leaves the
+    tenant uncapped.
+    """
+
+    weight: float = 1.0
+    max_outstanding: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError(f"quota weight must be > 0, got {self.weight}")
+        if self.max_outstanding is not None and self.max_outstanding < 1:
+            raise ValueError(
+                f"max_outstanding must be >= 1, got {self.max_outstanding}"
+            )
+
+
+class _QueuedJob:
+    """One submission's admission-side record (scheduler-internal)."""
+
+    __slots__ = (
+        "job", "tenant", "priority", "seq", "submitted_at",
+        "name", "graph", "inputs", "processes", "merged",
+        "time_scale", "seed",
+        "cond", "staged", "staged_tuples", "closed", "cancelled",
+        "admitted", "inner", "failure", "roots",
+    )
+
+    def __init__(self, job, tenant, priority, seq, spec):
+        self.job = job
+        self.tenant = tenant
+        self.priority = priority
+        self.seq = seq
+        self.submitted_at = time.monotonic()
+        (self.name, self.graph, self.inputs, self.processes, self.merged,
+         self.time_scale, self.seed) = spec
+        self.roots = {pe.name for pe in self.graph.roots()}
+        # Pre-admission state, guarded by ``cond`` (never the scheduler
+        # lock): staged sends flush to the inner job *before* ``inner`` is
+        # published, so user tuples can never overtake staged ones.
+        self.cond = threading.Condition()
+        self.staged: List[Tuple[str, List[Any]]] = []
+        self.staged_tuples = 0
+        self.closed = False
+        self.cancelled = False
+        self.admitted = False
+        self.inner: Optional[Job] = None
+        self.failure: Optional[BaseException] = None
+
+
+class JobScheduler:
+    """Fair-share admission of concurrent jobs over warm deployment pools.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`~repro.engine.Engine` whose mappings, platform and
+        defaults enact the jobs.  One scheduler per engine.
+    max_concurrent:
+        Global cap on concurrently enacting jobs (queued jobs wait).
+    pool_size:
+        Warm deployments kept per mapping (default: ``max_concurrent``).
+    quotas:
+        ``{tenant: TenantQuota}``; unlisted tenants get weight 1.0 and no
+        outstanding cap.
+    high_water:
+        Max tuples a not-yet-admitted job may stage via ``Job.send``.
+    backpressure:
+        What an over-high-water ``send`` does: ``"block"`` until admission
+        drains the staging buffer, or ``"error"``
+        (:class:`BackpressureError`).
+    aging_interval:
+        Seconds of queue wait worth one priority level -- smaller values
+        age starved jobs upward faster.
+    """
+
+    def __init__(
+        self,
+        engine: Any,
+        *,
+        max_concurrent: int = 4,
+        pool_size: Optional[int] = None,
+        quotas: Optional[Dict[str, TenantQuota]] = None,
+        high_water: int = 1024,
+        backpressure: str = "block",
+        aging_interval: float = 5.0,
+    ) -> None:
+        if max_concurrent < 1:
+            raise ValueError(f"max_concurrent must be >= 1, got {max_concurrent}")
+        if pool_size is not None and pool_size < 1:
+            raise ValueError(f"pool_size must be >= 1, got {pool_size}")
+        if high_water < 1:
+            raise ValueError(f"high_water must be >= 1, got {high_water}")
+        if backpressure not in ("block", "error"):
+            raise ValueError(
+                f"backpressure must be 'block' or 'error', got {backpressure!r}"
+            )
+        if aging_interval <= 0:
+            raise ValueError(f"aging_interval must be > 0, got {aging_interval}")
+        self.engine = engine
+        self.max_concurrent = max_concurrent
+        self.pool_size = pool_size if pool_size is not None else max_concurrent
+        self.quotas = dict(quotas or {})
+        self.high_water = high_water
+        self.backpressure = backpressure
+        self.aging_interval = aging_interval
+        from repro.scheduler.stats import SchedulerStats
+
+        self.stats = SchedulerStats()
+        self._cond = threading.Condition()
+        self._queue: List[_QueuedJob] = []
+        self._live: List[_QueuedJob] = []
+        self._running_count = 0
+        self._admitted_count: Dict[str, int] = {}
+        self._seq = itertools.count()
+        self._pools: Dict[str, DeploymentPool] = {}
+        self._closed = False
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="job-scheduler", daemon=True
+        )
+        self._dispatcher.start()
+
+    # ----------------------------------------------------------- submission
+    def submit(
+        self,
+        workflow: Any,
+        inputs: InputSpec = None,
+        *,
+        tenant: str = "default",
+        priority: int = 0,
+        deadline: Optional[float] = None,
+        processes: Optional[int] = None,
+        seed: Optional[int] = None,
+        mapping: Optional[str] = None,
+        time_scale: Optional[float] = None,
+        **options: Any,
+    ) -> Job:
+        """Queue a workflow for admission and return its :class:`Job` now.
+
+        The job is ``PENDING`` until admission grants it a deployment from
+        the mapping's warm pool; ``send``/``close_input``/``results`` work
+        immediately (sends stage until admission, bounded by the
+        scheduler's high-water mark).  ``priority`` ranks the job within
+        its ``tenant`` (higher first, aged upward while waiting);
+        ``deadline`` counts from *submission*, so it covers queue wait too.
+        Remaining parameters mirror :meth:`repro.engine.Engine.submit`.
+
+        An admitted job holds its concurrency slot until its input closes
+        and the run drains -- ``inputs`` seeds the stream but does *not*
+        close it.  Batch-style callers should ``close_input()`` right
+        after submitting (or ``wait()``, which closes first), otherwise an
+        idle open-input job can hold a slot other queued jobs need.
+
+        Raises :class:`QuotaExceededError` when the tenant is at its
+        ``max_outstanding`` cap, ``RuntimeError`` on a closed scheduler or
+        engine, and whatever the engine's option gating raises -- all
+        synchronously, before the job is queued.
+        """
+        graph, name, procs, merged = self.engine._resolve_submission(
+            workflow, processes, mapping, options
+        )
+        if deadline is not None and deadline <= 0:
+            raise ValueError(f"deadline must be > 0 seconds, got {deadline}")
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("JobScheduler is closed; create a new one")
+            quota = self.quotas.get(tenant)
+            if quota is not None and quota.max_outstanding is not None:
+                outstanding = sum(
+                    1 for r in self._queue + self._live if r.tenant == tenant
+                )
+                if outstanding >= quota.max_outstanding:
+                    self.stats.note_rejected()
+                    raise QuotaExceededError(
+                        f"tenant {tenant!r} has {outstanding} outstanding "
+                        f"job(s), at its max_outstanding quota of "
+                        f"{quota.max_outstanding}; wait for completions or "
+                        f"raise the quota"
+                    )
+            job = Job(
+                mapping=name,
+                workflow=graph.name,
+                streaming=get_capabilities(name).streaming,
+            )
+            record = _QueuedJob(
+                job, tenant, float(priority), next(self._seq),
+                (name, graph, inputs, procs, merged, time_scale, seed),
+            )
+            job._wire(
+                lambda target, tuples: self._job_send(record, target, tuples),
+                lambda: self._job_close(record),
+                lambda: self._job_cancel(record),
+            )
+            submitted_at = record.submitted_at
+            job._set_first_result_hook(
+                lambda: self.stats.note_first_result(
+                    time.monotonic() - submitted_at
+                )
+            )
+            job._on_terminal(lambda j: self._outer_terminal(record, j))
+            self._queue.append(record)
+            self.stats.note_submitted()
+            self._cond.notify_all()
+        # The engine tracks the outer handle so Engine.close() cancels
+        # queued scheduler jobs along with its own.
+        self.engine._adopt_job(job)
+        job._arm_deadline(deadline)
+        return job
+
+    def prewarm(
+        self,
+        mapping: str,
+        processes: Optional[int] = None,
+        count: Optional[int] = None,
+    ) -> int:
+        """Deploy warm capacity for ``mapping`` ahead of submissions.
+
+        Fills up to ``count`` of the mapping's pool slots (default: all
+        ``pool_size`` of them) at ``processes`` workers each (default: the
+        engine's configured process count).  Returns the number of
+        deployments added.  Jobs admitted onto prewarmed deployments count
+        ``deploy_warm`` -- the spin-up happened here, outside any job.
+        """
+        procs = processes if processes is not None else self.engine.config.processes
+        return self._pool_for(mapping).prewarm(procs, self.engine.platform, count)
+
+    # ------------------------------------------------------------ job wiring
+    def _job_send(self, record: _QueuedJob, target: Any, tuples: Any) -> None:
+        """Outer-job ``send``: stage pre-admission, forward post-admission."""
+        # Expand once, up front: target/shape errors surface at the send
+        # call even while queued, and the expanded mappings re-feed the
+        # inner job verbatim (dict items pass through expansion unchanged).
+        root, items = expand_send(record.graph, target, tuples, record.roots)
+        while True:
+            with record.cond:
+                inner = record.inner
+                if inner is None:
+                    if record.failure is not None:
+                        raise record.failure
+                    if record.cancelled or record.job.done():
+                        raise JobCancelledError(record.job._cancel_message())
+                    if record.staged_tuples + len(items) > self.high_water:
+                        if self.backpressure == "error":
+                            raise BackpressureError(
+                                f"job {record.job.workflow!r} is not yet "
+                                f"admitted and its staging buffer is full "
+                                f"({record.staged_tuples} tuple(s) staged, "
+                                f"high_water={self.high_water}); wait for "
+                                f"admission or raise high_water"
+                            )
+                        record.cond.wait(timeout=0.1)
+                        continue
+                    record.staged.append((root, items))
+                    record.staged_tuples += len(items)
+                    return
+            # Admitted: the inner job's own wiring takes over (its feed
+            # serializes concurrent pushes).
+            inner.send(root, items)
+            return
+
+    def _job_close(self, record: _QueuedJob) -> None:
+        with record.cond:
+            record.closed = True
+            inner = record.inner
+        if inner is not None:
+            inner.close_input()
+
+    def _job_cancel(self, record: _QueuedJob) -> None:
+        # The outer Job already flipped itself CANCELLED; our work is the
+        # queue/inner side.  Remove from the queue first so the dispatcher
+        # cannot admit a cancelled record.
+        with self._cond:
+            in_queue = record in self._queue
+            if in_queue:
+                self._queue.remove(record)
+                self.stats.note_dequeued()
+            admitted = record.admitted
+            self._cond.notify_all()
+        with record.cond:
+            record.cancelled = True
+            inner = record.inner
+            record.cond.notify_all()
+        if inner is not None:
+            inner.cancel()
+        elif not admitted:
+            # Never admitted: no enactment to unwind, resolve immediately.
+            record.job._finish_cancelled()
+        # Admitted but inner not yet published: _admit's post-flush check
+        # observes ``cancelled`` and cancels the inner job itself.
+
+    def _outer_terminal(self, record: _QueuedJob, job: Job) -> None:
+        with self._cond:
+            if record in self._queue:  # deadline/cancel raced submission
+                self._queue.remove(record)
+                self.stats.note_dequeued()
+            if record in self._live:
+                self._live.remove(record)
+            self._cond.notify_all()
+        outcome = {
+            JobState.DONE: "done",
+            JobState.FAILED: "failed",
+        }.get(job.state, "cancelled")
+        self.stats.note_terminal(outcome)
+        with record.cond:
+            record.cond.notify_all()  # release any blocked senders
+
+    # ------------------------------------------------------------ dispatcher
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._cond:
+                record = None
+                while not self._closed:
+                    record = self._pick_locked(time.monotonic())
+                    if record is not None:
+                        break
+                    # Aging shifts effective priorities over time, so wake
+                    # periodically even without queue/slot events.
+                    self._cond.wait(timeout=0.2)
+                if self._closed:
+                    return
+                self._queue.remove(record)
+                record.admitted = True
+                self._live.append(record)
+                self._running_count += 1
+                self._admitted_count[record.tenant] = (
+                    self._admitted_count.get(record.tenant, 0) + 1
+                )
+            self.stats.note_admitted(
+                record.tenant, time.monotonic() - record.submitted_at
+            )
+            self._admit(record)
+
+    def _pick_locked(self, now: float) -> Optional[_QueuedJob]:
+        """The next record to admit, or ``None`` (holding the scheduler lock).
+
+        Weighted-deficit fair share across tenants, priority-with-aging
+        within the winner; a mapping whose pool has no free slot makes its
+        jobs temporarily inadmissible without blocking other mappings.
+        """
+        if self._running_count >= self.max_concurrent:
+            return None
+        eligible: Dict[str, List[_QueuedJob]] = {}
+        for record in self._queue:
+            pool = self._pools.get(record.name)
+            if pool is not None and pool.free_slots() == 0:
+                continue
+            eligible.setdefault(record.tenant, []).append(record)
+        if not eligible:
+            return None
+        considered = set(eligible) | {r.tenant for r in self._live}
+        weight = {t: self._weight(t) for t in considered}
+        total_weight = sum(weight.values())
+        total_admitted = sum(self._admitted_count.get(t, 0) for t in considered)
+
+        def deficit(tenant: str) -> float:
+            share = weight[tenant] / total_weight
+            return total_admitted * share - self._admitted_count.get(tenant, 0)
+
+        tenant = max(
+            eligible,
+            key=lambda t: (
+                deficit(t),
+                weight[t],
+                -min(r.seq for r in eligible[t]),
+            ),
+        )
+
+        def effective(record: _QueuedJob) -> float:
+            waited = max(0.0, now - record.submitted_at)
+            return record.priority + waited / self.aging_interval
+
+        return max(eligible[tenant], key=lambda r: (effective(r), -r.seq))
+
+    def _weight(self, tenant: str) -> float:
+        quota = self.quotas.get(tenant)
+        return quota.weight if quota is not None else 1.0
+
+    def _admit(self, record: _QueuedJob) -> None:
+        """Enact one admitted record (off the scheduler lock: deploys, sends)."""
+        with record.cond:
+            if record.cancelled:
+                record.job._finish_cancelled()
+                self._slot_freed()
+                return
+        pool = self._pool_for(record.name)
+        try:
+            deployment, _busy = pool.try_acquire(
+                record.processes, self.engine.platform
+            )
+        except BaseException as exc:  # noqa: BLE001 - admission boundary
+            self._fail_admission(record, exc)
+            return
+        try:
+            inner = self.engine._start_job(
+                record.name, record.graph, record.inputs, record.processes,
+                record.merged,
+                time_scale=record.time_scale, seed=record.seed, deadline=None,
+                deployment=deployment, stream=None, results_channel=True,
+            )
+        except BaseException as exc:  # noqa: BLE001 - admission boundary
+            if deployment is not None:
+                # Validation failures raise before the deployment is ever
+                # touched; its warmth survives for the next job.
+                pool.release(deployment, reusable=True)
+            self._fail_admission(record, exc)
+            return
+        if deployment is not None:
+            leased = deployment
+            inner._on_terminal(
+                lambda j: pool.release(leased, reusable=j.state is JobState.DONE)
+            )
+        inner._on_terminal(lambda j: self._slot_freed())
+        record.job._mark_running()
+        flush_error: Optional[BaseException] = None
+        with record.cond:
+            staged, record.staged = record.staged, []
+            record.staged_tuples = 0
+            try:
+                for root, items in staged:
+                    inner.send(root, items)
+            except BaseException as exc:  # noqa: BLE001 - admission boundary
+                flush_error = exc
+            else:
+                record.inner = inner
+            record.cond.notify_all()
+        if flush_error is not None:
+            inner.cancel()
+            record.job._fail(flush_error)
+            return
+        with record.cond:
+            cancelled, closed = record.cancelled, record.closed
+        if cancelled:
+            inner.cancel()
+        elif closed:
+            inner.close_input()
+        threading.Thread(
+            target=self._bridge,
+            args=(record, inner),
+            name=f"sched-bridge-{record.job.workflow}",
+            daemon=True,
+        ).start()
+
+    def _pool_for(self, name: str) -> DeploymentPool:
+        with self._cond:
+            pool = self._pools.get(name)
+            if pool is None:
+                pool = DeploymentPool(
+                    self.engine._engine_for(name),
+                    size=self.pool_size,
+                    on_release=self._wake,
+                )
+                self._pools[name] = pool
+        return pool
+
+    def _wake(self) -> None:
+        with self._cond:
+            self._cond.notify_all()
+
+    def _slot_freed(self) -> None:
+        self.stats.note_slot_released()
+        with self._cond:
+            self._running_count = max(0, self._running_count - 1)
+            self._cond.notify_all()
+
+    def _fail_admission(self, record: _QueuedJob, exc: BaseException) -> None:
+        with record.cond:
+            record.failure = exc
+            record.cond.notify_all()
+        record.job._fail(exc)
+        self._slot_freed()
+
+    def _bridge(self, record: _QueuedJob, inner: Job) -> None:
+        """Pump the inner job's results into the outer handle, then resolve it."""
+        outer = record.job
+        try:
+            for key, value in inner.results():
+                outer._emit(key, value)
+        except BaseException:  # noqa: BLE001 - outcome forwarded below
+            pass
+        inner._terminal.wait()
+        state = inner.state
+        if state is JobState.DONE:
+            result = inner.result
+            assert result is not None
+            outer._finish(result)
+        elif state is JobState.FAILED:
+            outer._fail(inner._error or RuntimeError("enactment failed"))
+        else:
+            outer._finish_cancelled()
+
+    # -------------------------------------------------------------- context
+    def close(self, grace: float = 5.0) -> None:
+        """Cancel queued and live jobs, tear down the pools.  Idempotent.
+
+        Queued jobs resolve ``CANCELLED`` without ever enacting; live jobs
+        are cancelled and given ``grace`` seconds to unwind before their
+        deployments are torn down.
+        """
+        with self._cond:
+            already = self._closed
+            self._closed = True
+            queued, self._queue = list(self._queue), []
+            live = list(self._live)
+            pools, self._pools = list(self._pools.values()), {}
+            self._cond.notify_all()
+        if already and not (queued or live or pools):
+            return
+        for record in queued:
+            self.stats.note_dequeued()
+            record.job.cancel(reason="scheduler closed")
+        for record in live:
+            record.job.cancel(reason="scheduler closed")
+        for record in queued + live:
+            record.job._terminal.wait(timeout=grace)
+        for pool in pools:
+            pool.close()
+        self._dispatcher.join(timeout=grace)
+
+    def __enter__(self) -> "JobScheduler":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        with self._cond:
+            state = "closed" if self._closed else "open"
+            return (
+                f"JobScheduler(max_concurrent={self.max_concurrent}, "
+                f"pool_size={self.pool_size}, queued={len(self._queue)}, "
+                f"running={self._running_count}, {state})"
+            )

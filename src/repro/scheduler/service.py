@@ -1,0 +1,315 @@
+"""``repro serve``: the scheduler daemon and its line-JSON wire protocol.
+
+:class:`SchedulerService` fronts a :class:`~repro.scheduler.JobScheduler`
+with a TCP listener speaking newline-delimited JSON -- one request object
+per line in, one (or, for ``results``, a stream of) response object(s) per
+line out -- so external clients submit *named* workflows (the
+:mod:`repro.scheduler.catalog`), feed tuples and stream results with
+nothing but a socket, no library import.  The server shape mirrors
+:class:`repro.net.server.RespTCPServer`: bounded-timeout accept loop,
+thread per connection, idempotent :meth:`close`.
+
+Requests: ``{"op": ..., ...}``.  Responses: ``{"ok": true, ...}`` or
+``{"ok": false, "error": "..."}``; protocol errors never kill the
+connection, malformed lines get an error reply.
+
+==========  ===========================================================
+op          request -> reply
+==========  ===========================================================
+ping        ``{}`` -> ``{"pong": true}``
+workflows   ``{}`` -> ``{"workflows": {name: [param, ...]}}``
+submit      ``{"workflow", "params"?, "inputs"?, "tenant"?,
+            "priority"?, "deadline"?, "mapping"?, "processes"?,
+            "seed"?, "time_scale"?}`` -> ``{"job", "mapping",
+            "streaming", "roots"}`` (omit ``inputs`` for the catalog
+            default stream; pass ``null`` for none; ``roots`` are the
+            valid ``send`` targets)
+send        ``{"job", "target", "tuples"}`` -> ``{"sent": n}``
+close       ``{"job"}`` -> ``{"closed": true}``
+results     ``{"job", "timeout"?}`` -> one ``{"key", "value"}`` line
+            per result, then ``{"done": true, "state": ...}``
+wait        ``{"job", "timeout"?}`` -> ``{"state", "summary"}``
+cancel      ``{"job", "reason"?}`` -> ``{"cancelled": bool}``
+stats       ``{}`` -> ``{"stats": {...}}`` (:class:`SchedulerStats`)
+quit        closes the connection after ``{"bye": true}``
+==========  ===========================================================
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+from repro.jobs import Job
+from repro.scheduler.catalog import (
+    build_named_workflow,
+    workflow_names,
+    workflow_params,
+)
+from repro.scheduler.scheduler import JobScheduler
+
+
+def _encode(payload: Dict[str, Any]) -> bytes:
+    """One reply line; non-JSON values degrade to ``repr`` over the wire."""
+    return (json.dumps(payload, default=repr) + "\n").encode("utf-8")
+
+
+class SchedulerService:
+    """Line-JSON TCP front-end over one :class:`JobScheduler`."""
+
+    def __init__(
+        self,
+        scheduler: JobScheduler,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.scheduler = scheduler
+        self._host = host
+        self._port = port
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._stopping = threading.Event()
+        self._conns: Dict[int, socket.socket] = {}
+        self._conns_lock = threading.Lock()
+        self._jobs: Dict[str, Job] = {}
+        self._jobs_lock = threading.Lock()
+        self._job_seq = 0
+
+    # ------------------------------------------------------------- lifecycle
+    def start(self) -> "SchedulerService":
+        """Bind the listener and start accepting; returns ``self``."""
+        if self._listener is not None:
+            return self
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self._host, self._port))
+        listener.listen(64)
+        # Bounded accept timeout so the accept loop notices shutdown.
+        listener.settimeout(0.2)
+        self._listener = listener
+        self._port = listener.getsockname()[1]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"sched-accept-{self._port}", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    @property
+    def host(self) -> str:
+        return self._host
+
+    @property
+    def port(self) -> int:
+        return self._port
+
+    @property
+    def address(self) -> str:
+        """``host:port`` as clients expect it."""
+        return f"{self._host}:{self._port}"
+
+    def close(self) -> None:
+        """Stop accepting, drop every connection, release the port.
+
+        The scheduler (and its engine) belong to the caller and stay open
+        -- ``repro serve`` closes them after the service.  Idempotent.
+        """
+        if self._stopping.is_set():
+            return
+        self._stopping.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        with self._conns_lock:
+            conns = list(self._conns.values())
+        for sock in conns:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+
+    def serve_forever(self, poll: float = 0.5) -> None:
+        """Block until :meth:`close` (daemon mode for ``repro serve``)."""
+        self.start()
+        while not self._stopping.is_set():
+            self._stopping.wait(poll)
+
+    # ------------------------------------------------------------ accept loop
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                sock, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            with self._conns_lock:
+                self._conns[id(sock)] = sock
+            threading.Thread(
+                target=self._serve_conn,
+                args=(sock,),
+                name=f"sched-conn-{self._port}",
+                daemon=True,
+            ).start()
+
+    def _serve_conn(self, sock: socket.socket) -> None:
+        try:
+            reader = sock.makefile("rb")
+            for raw in reader:
+                line = raw.strip()
+                if not line:
+                    continue
+                try:
+                    request = json.loads(line)
+                    if not isinstance(request, dict):
+                        raise ValueError("expected a JSON object")
+                except ValueError as exc:
+                    sock.sendall(_encode({"ok": False, "error": f"bad request: {exc}"}))
+                    continue
+                stop = self._dispatch(sock, request)
+                if stop:
+                    break
+        except OSError:
+            pass  # client went away mid-line / mid-reply
+        finally:
+            with self._conns_lock:
+                self._conns.pop(id(sock), None)
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    # -------------------------------------------------------------- dispatch
+    def _dispatch(self, sock: socket.socket, request: Dict[str, Any]) -> bool:
+        """Handle one request; returns True when the connection should close."""
+        op = request.get("op")
+        handler = getattr(self, f"_op_{op}", None) if isinstance(op, str) else None
+        if handler is None:
+            sock.sendall(_encode({"ok": False, "error": f"unknown op {op!r}"}))
+            return False
+        try:
+            reply, stop = handler(sock, request)
+        except (KeyError, TypeError, ValueError, RuntimeError) as exc:
+            reply, stop = {"ok": False, "error": str(exc) or type(exc).__name__}, False
+        if reply is not None:
+            sock.sendall(_encode(reply))
+        return stop
+
+    def _job(self, request: Dict[str, Any]) -> Job:
+        job_id = request.get("job")
+        with self._jobs_lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise ValueError(f"unknown job {job_id!r}")
+        return job
+
+    # ------------------------------------------------------------ operations
+    def _op_ping(self, sock, request) -> Tuple[Dict[str, Any], bool]:
+        return {"ok": True, "pong": True}, False
+
+    def _op_quit(self, sock, request) -> Tuple[Dict[str, Any], bool]:
+        return {"ok": True, "bye": True}, True
+
+    def _op_workflows(self, sock, request) -> Tuple[Dict[str, Any], bool]:
+        return {
+            "ok": True,
+            "workflows": {
+                name: list(workflow_params(name)) for name in workflow_names()
+            },
+        }, False
+
+    def _op_submit(self, sock, request) -> Tuple[Dict[str, Any], bool]:
+        name = request.get("workflow")
+        if not isinstance(name, str):
+            raise ValueError("submit needs a 'workflow' name")
+        params = request.get("params") or {}
+        if not isinstance(params, dict):
+            raise ValueError("'params' must be an object")
+        graph, default_inputs = build_named_workflow(name, **params)
+        # Absent "inputs" means the catalog's default stream; an explicit
+        # null means "none, I will send tuples myself".
+        inputs = request["inputs"] if "inputs" in request else default_inputs
+        job = self.scheduler.submit(
+            graph,
+            inputs,
+            tenant=request.get("tenant", "default"),
+            priority=int(request.get("priority", 0)),
+            deadline=request.get("deadline"),
+            processes=request.get("processes"),
+            seed=request.get("seed"),
+            mapping=request.get("mapping"),
+            time_scale=request.get("time_scale"),
+        )
+        with self._jobs_lock:
+            self._job_seq += 1
+            job_id = f"j{self._job_seq}"
+            self._jobs[job_id] = job
+        return {
+            "ok": True,
+            "job": job_id,
+            "workflow": job.workflow,
+            "mapping": job.mapping,
+            "streaming": job.streaming,
+            # Valid send targets, so clients need not know the graph shape.
+            "roots": sorted(pe.name for pe in graph.roots()),
+        }, False
+
+    def _op_send(self, sock, request) -> Tuple[Dict[str, Any], bool]:
+        job = self._job(request)
+        tuples = request.get("tuples")
+        if not isinstance(tuples, list):
+            raise ValueError("'tuples' must be an array")
+        job.send(request.get("target"), tuples)
+        return {"ok": True, "sent": len(tuples)}, False
+
+    def _op_close(self, sock, request) -> Tuple[Dict[str, Any], bool]:
+        self._job(request).close_input()
+        return {"ok": True, "closed": True}, False
+
+    def _op_results(self, sock, request) -> Tuple[Optional[Dict[str, Any]], bool]:
+        job = self._job(request)
+        timeout = request.get("timeout")
+        try:
+            for key, value in job.results(timeout=timeout):
+                sock.sendall(_encode({"ok": True, "key": key, "value": value}))
+        except TimeoutError as exc:
+            return {"ok": False, "error": str(exc)}, False
+        except Exception as exc:  # job failed/cancelled after its last result
+            return {
+                "ok": False,
+                "error": str(exc) or type(exc).__name__,
+                "state": job.state.value,
+            }, False
+        return {"ok": True, "done": True, "state": job.state.value}, False
+
+    def _op_wait(self, sock, request) -> Tuple[Dict[str, Any], bool]:
+        job = self._job(request)
+        try:
+            result = job.wait(timeout=request.get("timeout"))
+        except TimeoutError as exc:
+            return {"ok": False, "error": str(exc)}, False
+        except Exception as exc:
+            return {
+                "ok": False,
+                "error": str(exc) or type(exc).__name__,
+                "state": job.state.value,
+            }, False
+        return {"ok": True, "state": job.state.value, "summary": result.summary()}, False
+
+    def _op_cancel(self, sock, request) -> Tuple[Dict[str, Any], bool]:
+        job = self._job(request)
+        flipped = job.cancel(reason=request.get("reason"))
+        return {"ok": True, "cancelled": flipped, "state": job.state.value}, False
+
+    def _op_stats(self, sock, request) -> Tuple[Dict[str, Any], bool]:
+        return {"ok": True, "stats": self.scheduler.stats.snapshot()}, False
+
+    def __repr__(self) -> str:
+        state = "stopped" if self._stopping.is_set() else "serving"
+        return f"SchedulerService({self.address}, {state})"

@@ -1,0 +1,67 @@
+"""The docs site is checked, not trusted.
+
+``scripts/check_docs.py`` is the single gate: every relative link in
+``docs/*.md`` and ``README.md`` must resolve, and the capability matrix
+in ``docs/capabilities.md`` must match what the live mapping registry
+renders.  These tests run the script the way CI does (a subprocess, so
+its exit codes and argument parsing are covered too) and pin the drift
+check's teeth on a doctored copy.
+"""
+
+import os
+import shutil
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def _run_check(*argv, cwd=REPO_ROOT):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    return subprocess.run(
+        [sys.executable, os.path.join(REPO_ROOT, "scripts", "check_docs.py"), *argv],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=cwd,
+    )
+
+
+def test_docs_links_resolve_and_matrix_is_fresh():
+    proc = _run_check()
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_drifted_matrix_fails_and_write_repairs_it(tmp_path):
+    # A doctored checkout: same scripts/src, capability matrix edited the
+    # way a stale docs page would be after a registry change.
+    for name in ("docs", "scripts"):
+        shutil.copytree(os.path.join(REPO_ROOT, name), tmp_path / name)
+    shutil.copy(os.path.join(REPO_ROOT, "README.md"), tmp_path / "README.md")
+    os.symlink(os.path.join(REPO_ROOT, "src"), tmp_path / "src")
+    capabilities = tmp_path / "docs" / "capabilities.md"
+    capabilities.write_text(
+        capabilities.read_text(encoding="utf-8").replace(
+            "| `simple` | yes |", "| `simple` | no |"
+        ),
+        encoding="utf-8",
+    )
+
+    check = tmp_path / "scripts" / "check_docs.py"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    drifted = subprocess.run(
+        [sys.executable, str(check)], capture_output=True, text=True, env=env
+    )
+    assert drifted.returncode == 1
+    assert "drifted" in drifted.stderr
+
+    repaired = subprocess.run(
+        [sys.executable, str(check), "--write"],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    assert repaired.returncode == 0, repaired.stdout + repaired.stderr
+    assert "| `simple` | yes |" in capabilities.read_text(encoding="utf-8")

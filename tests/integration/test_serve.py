@@ -1,0 +1,156 @@
+"""`repro serve` end-to-end: a real daemon process, a socket-only client.
+
+The acceptance bar for the multi-job service: start the daemon as a
+subprocess (`python -m repro serve`), then run a named workflow to
+completion over the wire using nothing but a TCP socket and the json
+module -- the client side never imports Engine (or repro at all).
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+import pytest
+
+pytestmark = pytest.mark.scheduler
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+@pytest.fixture
+def daemon():
+    """A live `repro serve` subprocess; yields its (host, port)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    env["PYTHONUNBUFFERED"] = "1"
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0",  # ephemeral: the banner tells us where
+            "--processes", "8",
+            "--time-scale", "0.002",
+            "--max-jobs", "2",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        env=env,
+        cwd=REPO_ROOT,
+        text=True,
+    )
+    try:
+        banner = proc.stdout.readline()
+        assert "serving line-JSON on" in banner, (
+            f"unexpected banner {banner!r}; stderr: {proc.stderr.read()}"
+        )
+        address = banner.rsplit(" on ", 1)[1].split()[0]
+        host, port = address.rsplit(":", 1)
+        yield host, int(port)
+    finally:
+        proc.send_signal(signal.SIGINT)
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait(timeout=5)
+
+
+class SocketClient:
+    """What a third-party daemon user writes: sockets and json, nothing else."""
+
+    def __init__(self, host, port, timeout=30):
+        deadline = time.monotonic() + 10
+        while True:
+            try:
+                self.sock = socket.create_connection((host, port), timeout=timeout)
+                break
+            except OSError:
+                if time.monotonic() > deadline:
+                    raise
+                time.sleep(0.05)
+        self.reader = self.sock.makefile("r", encoding="utf-8")
+
+    def request(self, **payload):
+        self.sock.sendall((json.dumps(payload) + "\n").encode("utf-8"))
+        return self.recv()
+
+    def recv(self):
+        line = self.reader.readline()
+        assert line, "daemon closed the connection"
+        return json.loads(line)
+
+    def close(self):
+        self.sock.close()
+
+
+def test_serve_runs_named_workflow_end_to_end(daemon):
+    host, port = daemon
+    client = SocketClient(host, port)
+    try:
+        assert client.request(op="ping")["pong"] is True
+
+        catalog = client.request(op="workflows")["workflows"]
+        assert "sentiment-scoring" in catalog
+
+        submitted = client.request(
+            op="submit", workflow="sentiment-scoring",
+            params={"articles": 8}, inputs=None, tenant="e2e",
+        )
+        assert submitted["ok"] is True, submitted
+        job = submitted["job"]
+        target = submitted["roots"][0]
+
+        assert client.request(
+            op="send", job=job, target=target, tuples=list(range(8)),
+        )["sent"] == 8
+        assert client.request(op="close", job=job)["closed"] is True
+
+        client.sock.sendall(
+            (json.dumps({"op": "results", "job": job, "timeout": 60}) + "\n")
+            .encode("utf-8")
+        )
+        values = []
+        while True:
+            reply = client.recv()
+            assert reply["ok"] is True, reply
+            if reply.get("done"):
+                assert reply["state"] == "done"
+                break
+            values.append(reply["value"])
+        assert len(values) > 0
+
+        waited = client.request(op="wait", job=job, timeout=60)
+        assert waited["ok"] is True
+        assert waited["state"] == "done"
+        assert waited["summary"]["counters"]
+
+        stats = client.request(op="stats")["stats"]
+        assert stats["completed"] >= 1
+        assert client.request(op="quit")["bye"] is True
+    finally:
+        client.close()
+
+
+def test_serve_survives_a_bad_client_and_serves_the_next(daemon):
+    host, port = daemon
+    rude = SocketClient(host, port)
+    rude.sock.sendall(b"garbage that is not json\n")
+    assert rude.recv()["ok"] is False
+    rude.sock.close()  # drop mid-session without quit
+
+    polite = SocketClient(host, port)
+    try:
+        assert polite.request(op="ping")["pong"] is True
+        submitted = polite.request(
+            op="submit", workflow="sentiment", params={"articles": 5},
+        )
+        assert submitted["ok"] is True, submitted
+        job = submitted["job"]
+        assert polite.request(op="close", job=job)["closed"] is True
+        waited = polite.request(op="wait", job=job, timeout=60)
+        assert waited["state"] == "done"
+    finally:
+        polite.close()
